@@ -1,0 +1,152 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of "Experimental Analysis of Space-Bounded Schedulers" (SPAA 2014), one
+// testing.B benchmark per experiment:
+//
+//	BenchmarkFig5_RRM         — Fig. 5 grid (RRM × schedulers × bandwidth)
+//	BenchmarkFig6_RRG         — Fig. 6 grid (RRG)
+//	BenchmarkFig7_Topology    — Fig. 7 (L3 misses vs cores per socket)
+//	BenchmarkFig8_Kernels     — Fig. 8 (5 kernels, full bandwidth)
+//	BenchmarkFig9_Kernels     — Fig. 9 (5 kernels, 25% bandwidth)
+//	BenchmarkFig10_Sigma      — Fig. 10 (empty-queue time vs σ)
+//	BenchmarkValidation       — §5 framework validation (WS vs CilkPlus)
+//	BenchmarkModel            — §5.3 analytic cache-miss model check
+//
+// Each benchmark runs its whole experiment grid per iteration (b.N is
+// normally 1: grids are seconds-scale) at the quick profile, and reports
+// the paper's headline quantities as custom metrics so `go test -bench`
+// output doubles as a miniature reproduction table. The paper-scale
+// numbers are produced by `go run ./cmd/schedbench -experiment all` and
+// recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func quickRunner() *exp.Runner {
+	p := exp.Quick()
+	p.Reps = 1
+	return exp.NewRunner(p, io.Discard)
+}
+
+// missReduction returns the percent reduction of mean L3 misses of sb
+// relative to ws.
+func missReduction(ws, sb exp.Metrics) float64 {
+	return 100 * (ws.L3Misses.Mean - sb.L3Misses.Mean) / ws.L3Misses.Mean
+}
+
+// byGroupSched indexes rows by (group, scheduler).
+func byGroupSched(rows []exp.FigRow) map[[2]string]exp.Metrics {
+	out := make(map[[2]string]exp.Metrics, len(rows))
+	for _, r := range rows {
+		out[[2]string{r.Group, r.Scheduler}] = r.M
+	}
+	return out
+}
+
+func BenchmarkFig5_RRM(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := byGroupSched(rows)
+		b.ReportMetric(missReduction(m[[2]string{"100% b/w", "WS"}], m[[2]string{"100% b/w", "SB"}]), "L3red%")
+		full := m[[2]string{"100% b/w", "SB"}].TimeSec()
+		quarter := m[[2]string{"25% b/w", "SB"}].TimeSec()
+		b.ReportMetric(quarter/full, "SBslow25%bw")
+	}
+}
+
+func BenchmarkFig6_RRG(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := byGroupSched(rows)
+		b.ReportMetric(missReduction(m[[2]string{"100% b/w", "WS"}], m[[2]string{"100% b/w", "SB"}]), "L3red%")
+	}
+}
+
+func BenchmarkFig7_Topology(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		out, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := byGroupSched(out["RRM"])
+		growth := m[[2]string{"4x8x2(HT)", "WS"}].L3Misses.Mean / m[[2]string{"4 x 1", "WS"}].L3Misses.Mean
+		b.ReportMetric(growth, "WSmissGrowth")
+		growthSB := m[[2]string{"4x8x2(HT)", "SB"}].L3Misses.Mean / m[[2]string{"4 x 1", "SB"}].L3Misses.Mean
+		b.ReportMetric(growthSB, "SBmissGrowth")
+	}
+}
+
+func benchKernels(b *testing.B, fig func(*exp.Runner) ([]exp.FigRow, error)) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := fig(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := byGroupSched(rows)
+		b.ReportMetric(missReduction(m[[2]string{"Quicksort", "WS"}], m[[2]string{"Quicksort", "SB"}]), "qsortL3red%")
+		b.ReportMetric(missReduction(m[[2]string{"MatMul", "WS"}], m[[2]string{"MatMul", "SB"}]), "mmL3red%")
+		b.ReportMetric(missReduction(m[[2]string{"Samplesort", "WS"}], m[[2]string{"Samplesort", "SB"}]), "ssortL3red%")
+	}
+}
+
+func BenchmarkFig8_Kernels(b *testing.B) {
+	benchKernels(b, func(r *exp.Runner) ([]exp.FigRow, error) { return r.Fig8() })
+}
+
+func BenchmarkFig9_Kernels(b *testing.B) {
+	benchKernels(b, func(r *exp.Runner) ([]exp.FigRow, error) { return r.Fig9() })
+}
+
+func BenchmarkFig10_Sigma(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := byGroupSched(rows)
+		lo := m[[2]string{"σ = 0.5", "SB"}].EmptySec.Mean
+		hi := m[[2]string{"σ = 1.0", "SB"}].EmptySec.Mean
+		if lo > 0 {
+			b.ReportMetric(hi/lo, "emptyRatioσ1.0/0.5")
+		}
+	}
+}
+
+func BenchmarkValidation(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		out, err := r.Validate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pair := out["RRM"]
+		b.ReportMetric(pair[1].TimeSec()/pair[0].TimeSec(), "WS/Cilk")
+	}
+}
+
+func BenchmarkModel(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		mc, err := r.Model()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mc.MeasuredSB/float64(mc.ModelSB), "SBmeas/model")
+		b.ReportMetric(mc.MeasuredWS/float64(mc.ModelWS), "WSmeas/model")
+	}
+}

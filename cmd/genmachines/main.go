@@ -1,0 +1,18 @@
+// Command genmachines regenerates the JSON machine descriptions shipped
+// in machines/ from the presets in internal/machine.
+package main
+
+import (
+	"log"
+
+	"repro/internal/machine"
+)
+
+func main() {
+	if err := machine.Xeon7560().Save("machines/xeon7560.json"); err != nil {
+		log.Fatal(err)
+	}
+	if err := machine.Xeon7560HT().Save("machines/xeon7560ht.json"); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Command schedbench regenerates the tables and figures of "Experimental
+// Analysis of Space-Bounded Schedulers" (SPAA 2014) on the simulated
+// Xeon 7560.
+//
+// Usage:
+//
+//	schedbench -experiment all                 # everything (paper profile)
+//	schedbench -experiment fig5 -profile quick # one figure, small inputs
+//	schedbench -experiment machine             # print the Fig. 4 machine
+//
+// Experiments: machine, fig5, fig6, fig7, fig8, fig9, fig10, validate,
+// model, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/machine"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: machine|fig5|fig6|fig7|fig8|fig9|fig10|validate|model|all")
+		profile    = flag.String("profile", "paper", "experiment scale: paper|quick")
+		reps       = flag.Int("reps", 0, "override repetitions per cell (0 = profile default)")
+		seed       = flag.Uint64("seed", 0, "override base seed (0 = profile default)")
+		verbose    = flag.Bool("v", false, "print each cell as it completes")
+		csvDir     = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
+	)
+	flag.Parse()
+
+	var p exp.Profile
+	switch *profile {
+	case "paper":
+		p = exp.Paper()
+	case "quick":
+		p = exp.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "schedbench: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	if *reps > 0 {
+		p.Reps = *reps
+	}
+	if *seed > 0 {
+		p.Seed = *seed
+	}
+
+	r := exp.NewRunner(p, os.Stdout)
+	r.Verbose = *verbose
+
+	fmt.Printf("schedbench: profile=%s machine-scale=1/%d reps=%d\n", p.Name, p.MachineScale, p.Reps)
+	fmt.Printf("machine: %s\n", p.MachineHT())
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s completed in %.1fs\n", name, time.Since(start).Seconds())
+	}
+
+	export := func(name string, rows []exp.FigRow, err error) error {
+		if err != nil || *csvDir == "" {
+			return err
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		return exp.WriteCSV(fmt.Sprintf("%s/%s.csv", *csvDir, name), rows)
+	}
+	experiments := map[string]func() error{
+		"machine": func() error { return printMachine() },
+		"fig5":    func() error { rows, err := r.Fig5(); return export("fig5", rows, err) },
+		"fig6":    func() error { rows, err := r.Fig6(); return export("fig6", rows, err) },
+		"fig7": func() error {
+			out, err := r.Fig7()
+			if err != nil {
+				return err
+			}
+			for name, rows := range out {
+				if err := export("fig7_"+strings.ToLower(name), rows, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"fig8":     func() error { rows, err := r.Fig8(); return export("fig8", rows, err) },
+		"fig9":     func() error { rows, err := r.Fig9(); return export("fig9", rows, err) },
+		"fig10":    func() error { rows, err := r.Fig10(); return export("fig10", rows, err) },
+		"validate": func() error { _, err := r.Validate(); return err },
+		"model":    func() error { _, err := r.Model(); return err },
+		"ablation": func() error { return r.Ablations() },
+	}
+	order := []string{"machine", "validate", "model", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation"}
+
+	switch *experiment {
+	case "all":
+		for _, name := range order {
+			run(name, experiments[name])
+		}
+	default:
+		f, ok := experiments[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "schedbench: unknown experiment %q (have %s, all)\n",
+				*experiment, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		run(*experiment, f)
+	}
+}
+
+// printMachine prints the Fig. 4 specification entry of the simulated
+// machine in the paper's own format.
+func printMachine() error {
+	d := machine.Xeon7560()
+	fmt.Printf("\nFigure 4: specification entry for the 32-core Xeon 7560\n")
+	fmt.Printf("int num_procs=%d;\n", d.NumCores())
+	fmt.Printf("int num_levels = %d;\n", d.NumLevels())
+	fmt.Printf("int fan_outs[%d] = {", d.NumLevels())
+	for i, lv := range d.Levels {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Print(lv.Fanout)
+	}
+	fmt.Println("};")
+	fmt.Printf("long long int sizes[%d] = {", d.NumLevels())
+	for i, lv := range d.Levels {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(lv.Size)
+	}
+	fmt.Println("};")
+	fmt.Printf("int block_sizes[%d] = {", d.NumLevels())
+	for i, lv := range d.Levels {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Print(lv.BlockSize)
+	}
+	fmt.Println("};")
+	fmt.Printf("int map[%d] = {", d.NumCores())
+	for i := 0; i < d.NumCores(); i++ {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Print(d.LeafOf(i))
+	}
+	fmt.Println("};")
+	return nil
+}

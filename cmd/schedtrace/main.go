@@ -1,0 +1,174 @@
+// Command schedtrace records the complete schedule of one benchmark run —
+// every strand's (spawn, start, end, proc) — validates it against the
+// paper's schedule definitions, and renders it for inspection: a summary,
+// an optional per-core text Gantt chart, and an optional CSV export for
+// external plotting.
+//
+// Examples:
+//
+//	schedtrace -bench rrm -sched sb -gantt
+//	schedtrace -bench quicksort -sched ws -csv /tmp/ws.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "xeon7560", "machine preset or JSON file")
+		scale       = flag.Int64("scale", 256, "cache scale divisor")
+		benchName   = flag.String("bench", "rrm", "benchmark name")
+		schedName   = flag.String("sched", "sb", "scheduler name")
+		n           = flag.Int("n", 20000, "input size")
+		cutoff      = flag.Int("cutoff", 512, "base-case cutoff")
+		links       = flag.Int("links", 0, "DRAM links to use (0 = all)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		gantt       = flag.Bool("gantt", false, "print a per-core text timeline")
+		width       = flag.Int("width", 100, "gantt width in columns")
+		csvPath     = flag.String("csv", "", "write strand records to this CSV file")
+	)
+	flag.Parse()
+
+	m, err := core.MachineByName(*machineName, *scale)
+	if err != nil {
+		fail(err)
+	}
+	s := &core.Session{Machine: m, LinksUsed: *links, Seed: *seed, Trace: true}
+	res, err := s.RunKernel(*schedName, *benchName, core.BenchOpts{N: *n, Cutoff: *cutoff})
+	if err != nil {
+		fail(err)
+	}
+	rec := res.Trace
+
+	fmt.Printf("machine:    %s\n", m)
+	fmt.Printf("benchmark:  %s under %s, seed %d\n", res.Kernel.Name(), res.Scheduler, *seed)
+	fmt.Printf("wall:       %d cycles (%.4f ms)\n", res.WallCycles, res.WallSeconds()*1e3)
+	fmt.Printf("tasks:      %d, strands: %d, max concurrency: %d / %d cores\n",
+		res.Tasks, res.Strands, rec.MaxConcurrency(), m.NumCores())
+	fmt.Printf("L3 misses:  %d (+%d writebacks)\n", res.L3Misses(), res.Writebacks)
+	work, span := rec.WorkSpan()
+	fmt.Printf("work/span:  %d / %d cycles → parallelism %.1f\n", work, span, rec.Parallelism())
+	fmt.Printf("validity:   schedule constraints (§2) hold\n")
+	if res.Scheduler == "SB" || res.Scheduler == "SB-D" {
+		fmt.Printf("            space-bounded properties (§4.1) hold\n")
+	}
+	printAnchorHistogram(rec)
+
+	if *gantt {
+		printGantt(rec, m.NumCores(), res.WallCycles, *width)
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d strand records to %s\n", len(rec.Strands), *csvPath)
+	}
+}
+
+// printAnchorHistogram summarizes where tasks were anchored (meaningful
+// for space-bounded schedules; others anchor nothing).
+func printAnchorHistogram(rec *trace.Recorder) {
+	counts := map[int]int{}
+	for _, t := range rec.Tasks {
+		counts[t.AnchorLevel]++
+	}
+	if len(counts) == 1 {
+		if _, only := counts[-1]; only {
+			return // no anchoring (work-stealing family)
+		}
+	}
+	var levels []int
+	for lvl := range counts {
+		levels = append(levels, lvl)
+	}
+	sort.Ints(levels)
+	parts := make([]string, 0, len(levels))
+	for _, lvl := range levels {
+		name := "unanchored"
+		switch {
+		case lvl == 0:
+			name = "RAM"
+		case lvl > 0:
+			name = fmt.Sprintf("level %d", lvl)
+		}
+		parts = append(parts, fmt.Sprintf("%s: %d", name, counts[lvl]))
+	}
+	fmt.Printf("anchors:    %s\n", strings.Join(parts, ", "))
+}
+
+// printGantt renders one row per core; each column is a wall-time slice,
+// '#' where the core was executing a strand.
+func printGantt(rec *trace.Recorder, cores int, wall int64, width int) {
+	if width < 10 {
+		width = 10
+	}
+	rows := make([][]byte, cores)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range rec.Strands {
+		if s.Proc < 0 {
+			continue
+		}
+		c0 := int(s.Start * int64(width) / (wall + 1))
+		c1 := int(s.End * int64(width) / (wall + 1))
+		for c := c0; c <= c1 && c < width; c++ {
+			rows[s.Proc][c] = '#'
+		}
+	}
+	fmt.Printf("\ntimeline (%d columns = %d cycles each):\n", width, wall/int64(width))
+	for i, row := range rows {
+		fmt.Printf("core %3d |%s|\n", i, row)
+	}
+}
+
+// writeCSV exports strand records: id, task, kind, proc, spawn, start, end.
+func writeCSV(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"strand", "task", "kind", "proc", "spawn", "start", "end", "anchor_level", "anchor_node"}); err != nil {
+		return err
+	}
+	for _, s := range rec.Strands {
+		kind := "task"
+		if s.Kind == job.Continuation {
+			kind = "cont"
+		}
+		rowErr := w.Write([]string{
+			strconv.FormatUint(s.ID, 10),
+			strconv.FormatUint(s.Task.ID, 10),
+			kind,
+			strconv.Itoa(s.Proc),
+			strconv.FormatInt(s.Spawn, 10),
+			strconv.FormatInt(s.Start, 10),
+			strconv.FormatInt(s.End, 10),
+			strconv.Itoa(s.Task.AnchorLevel),
+			strconv.Itoa(s.Task.AnchorNode),
+		})
+		if rowErr != nil {
+			return rowErr
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "schedtrace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Bandwidth: reproduce the paper's "bandwidth gap" experiment shape on one
+// kernel — as the DRAM bandwidth available per core shrinks (the paper
+// controls this with numactl page placement; here the simulated page→link
+// mapping), the runtime advantage of space-bounded scheduling grows, up to
+// ~50% on memory-bound kernels (§5.3, Figs. 5/9).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/schedsim"
+)
+
+func main() {
+	m := schedsim.ScaledXeon7560HT(64)
+	fmt.Printf("machine: %s (%d DRAM links)\n\n", m, m.Links)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bandwidth\tWS total(ms)\tSB total(ms)\tSB advantage\tWS L3(K)\tSB L3(K)")
+	for _, links := range []int{4, 3, 2, 1} {
+		totals := map[string]float64{}
+		misses := map[string]int64{}
+		for _, sched := range []string{"ws", "sb"} {
+			session := &schedsim.Session{Machine: m, LinksUsed: links, Seed: 11}
+			res, err := session.RunKernel(sched, "rrg", schedsim.BenchOpts{N: 160_000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			totals[sched] = (res.ActiveSeconds() + res.OverheadSeconds()) * 1e3
+			misses[sched] = res.L3Misses()
+		}
+		adv := 100 * (totals["ws"] - totals["sb"]) / totals["ws"]
+		fmt.Fprintf(tw, "%d/%d links\t%.3f\t%.3f\t%+.1f%%\t%.0f\t%.0f\n",
+			links, m.Links, totals["ws"], totals["sb"], adv,
+			float64(misses["ws"])/1e3, float64(misses["sb"])/1e3)
+	}
+	tw.Flush()
+	fmt.Println("\nThe L3 miss counts barely move with bandwidth; the time advantage of the")
+	fmt.Println("space-bounded scheduler grows as the bandwidth gap widens — the paper's")
+	fmt.Println("argument for space-bounded scheduling on future many-core machines.")
+}

@@ -1,0 +1,43 @@
+// Sortrace: the paper's §1 motivation is that the scheduler — not the
+// algorithm alone — decides how well a parallel sort uses the cache
+// hierarchy. This example races the three sorting kernels of §5.1
+// (quicksort, cache-oblivious samplesort, cache-aware samplesort) under
+// all four schedulers and prints the full grid, reproducing the Fig. 8
+// texture: samplesort is insensitive to the scheduler, quicksort and the
+// aware sort benefit from space-bounded scheduling.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/schedsim"
+)
+
+func main() {
+	m := schedsim.ScaledXeon7560HT(64)
+	fmt.Printf("machine: %s\n", m)
+	const n = 300_000
+	fmt.Printf("sorting %d float64s (%.1f MB, %.1fx the socket L3)\n\n",
+		n, float64(n*8)/(1<<20), float64(n*8)/float64(m.Levels[1].Size))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "sort\tscheduler\tL3 misses\ttotal(ms)\tempty-queue(ms)")
+	for _, bench := range []string{"quicksort", "samplesort", "awaresamplesort"} {
+		for _, sched := range []string{"ws", "pws", "sb", "sbd"} {
+			session := &schedsim.Session{Machine: m, Seed: 7}
+			res, err := session.RunKernel(sched, bench, schedsim.BenchOpts{N: n})
+			if err != nil {
+				log.Fatal(err)
+			}
+			total := (res.ActiveSeconds() + res.OverheadSeconds()) * 1e3
+			empty := m.Seconds(int64(res.EmptyAvg())) * 1e3
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.3f\t%.3f\n", bench, res.Scheduler, res.L3Misses(), total, empty)
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nExpect: samplesort nearly scheduler-independent (it is optimally cache-")
+	fmt.Println("oblivious); quicksort and aware samplesort lose fewer L3 misses under SB/SB-D.")
+}

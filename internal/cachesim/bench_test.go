@@ -1,0 +1,50 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// BenchmarkAccessHit measures the simulator's hot path: an L1 hit.
+func BenchmarkAccessHit(b *testing.B) {
+	d := machine.Xeon7560()
+	sp := mem.NewSpace(d.Links, d.Links)
+	h := New(d, sp)
+	a := mem.Addr(mem.PageSize)
+	h.Access(0, 0, a, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, int64(i), a, false)
+	}
+}
+
+// BenchmarkAccessStream measures a streaming scan (mostly misses at the
+// inner levels, periodic DRAM accesses).
+func BenchmarkAccessStream(b *testing.B) {
+	d := machine.Xeon7560()
+	sp := mem.NewSpace(d.Links, d.Links)
+	h := New(d, sp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i%32, int64(i), mem.Addr(mem.PageSize)+mem.Addr(i*8), false)
+	}
+}
+
+// BenchmarkAccessRandom measures random-gather behaviour across a large
+// footprint (DRAM-dominated).
+func BenchmarkAccessRandom(b *testing.B) {
+	d := machine.Xeon7560()
+	sp := mem.NewSpace(d.Links, d.Links)
+	h := New(d, sp)
+	const span = 1 << 28
+	x := uint64(0x9e3779b97f4a7c15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		h.Access(int(x%32), int64(i), mem.Addr(mem.PageSize)+mem.Addr(x%span), false)
+	}
+}

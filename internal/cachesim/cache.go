@@ -1,0 +1,416 @@
+// Package cachesim simulates the tree of caches of a PMH machine with exact
+// hit/miss accounting — the simulator's replacement for the hardware
+// performance counters (C-Box PMUs) the paper reads on the Xeon 7560.
+//
+// Each cache is set-associative with LRU replacement within sets. Caches at
+// a shared level (e.g. the per-socket L3) are single objects touched by all
+// cores below them, so constructive sharing and cache pollution between
+// concurrent tasks arise naturally from the interleaving of accesses, which
+// is exactly the effect the paper measures.
+//
+// Model notes (documented substitutions, see DESIGN.md):
+//   - Fills are inclusive: a line served by level i is installed in every
+//     level below i on the accessing core's path.
+//   - There is no coherence protocol: the programming model forbids data
+//     races and permits concurrent reads (§2 of the paper), so writes and
+//     reads are equivalent for replacement state.
+//   - DRAM bandwidth is modeled by per-link occupancy: each access that
+//     misses the outermost cache reserves its page's DRAM link for
+//     LineService cycles; the queueing delay this induces is the paper's
+//     "bandwidth gap" made explicit.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// defaultAssoc is the associativity used when a cache has at least that
+// many lines (8-way, matching the L1/L2/L3 organization of the Xeon 7560
+// closely enough for the experiments).
+const defaultAssoc = 8
+
+// Stats holds access counters for one cache.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Accesses returns the total number of accesses observed.
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
+
+// Cache is one set-associative LRU cache.
+type Cache struct {
+	// Level is the machine level (1 = outermost cache, e.g. L3).
+	Level int
+	// ID is the index of this cache within its level.
+	ID int
+
+	sets       int
+	assoc      int
+	blockShift uint
+	// tags holds line+1 per way (0 = invalid), indexed set*assoc+way.
+	tags []uint64
+	// stamps holds the LRU timestamp per way.
+	stamps []uint64
+	// dirty marks written lines (write-back accounting at the outermost
+	// level).
+	dirty []bool
+	clock uint64
+
+	// Stats accumulates hit/miss counters; read via the Hierarchy helpers
+	// or directly in tests.
+	Stats Stats
+}
+
+func log2u(x int64) uint {
+	var s uint
+	for x > 1 {
+		x >>= 1
+		s++
+	}
+	return s
+}
+
+func newCache(level, id int, size, block int64) *Cache {
+	lines := int(size / block)
+	assoc := defaultAssoc
+	if lines < assoc {
+		assoc = lines
+	}
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		Level:      level,
+		ID:         id,
+		sets:       sets,
+		assoc:      assoc,
+		blockShift: log2u(block),
+		tags:       make([]uint64, sets*assoc),
+		stamps:     make([]uint64, sets*assoc),
+		dirty:      make([]bool, sets*assoc),
+	}
+}
+
+// Lines returns the capacity of the cache in lines.
+func (c *Cache) Lines() int { return c.sets * c.assoc }
+
+func (c *Cache) line(a mem.Addr) uint64 { return uint64(a) >> c.blockShift }
+
+// probe looks up the line containing a; on a hit it refreshes the LRU
+// stamp (marking the line dirty on a write) and returns true. It does not
+// modify the cache on a miss.
+func (c *Cache) probe(a mem.Addr, write bool) bool {
+	ln := c.line(a) + 1
+	set := int(c.line(a) % uint64(c.sets))
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == ln {
+			c.clock++
+			c.stamps[base+w] = c.clock
+			if write {
+				c.dirty[base+w] = true
+			}
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// markDirty sets the dirty bit of a's line if resident, without touching
+// LRU state or counters (used to propagate writes served by inner levels
+// to the outermost copy).
+func (c *Cache) markDirty(a mem.Addr) {
+	ln := c.line(a) + 1
+	set := int(c.line(a) % uint64(c.sets))
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == ln {
+			c.dirty[base+w] = true
+			return
+		}
+	}
+}
+
+// fill installs the line containing a, evicting the LRU way if the set is
+// full. It returns the evicted line's address (valid if evictedDirty) so
+// the hierarchy can account the write-back. fill must only be called after
+// a missing probe for the same line.
+func (c *Cache) fill(a mem.Addr, write bool) (evicted mem.Addr, evictedDirty bool) {
+	ln := c.line(a) + 1
+	set := int(c.line(a) % uint64(c.sets))
+	base := set * c.assoc
+	victim, oldest := base, c.stamps[base]
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.tags[i] == 0 {
+			victim = i
+			oldest = 0
+			break
+		}
+		if c.stamps[i] < oldest {
+			victim, oldest = i, c.stamps[i]
+		}
+	}
+	if c.tags[victim] != 0 {
+		c.Stats.Evictions++
+		if c.dirty[victim] {
+			evicted = mem.Addr(c.tags[victim]-1) << c.blockShift
+			evictedDirty = true
+		}
+	}
+	c.clock++
+	c.tags[victim] = ln
+	c.stamps[victim] = c.clock
+	c.dirty[victim] = write
+	return evicted, evictedDirty
+}
+
+// invalidate removes a's line if resident (exclusive hierarchies move
+// lines rather than copy them), returning whether it was dirty.
+func (c *Cache) invalidate(a mem.Addr) (wasDirty bool) {
+	ln := c.line(a) + 1
+	set := int(c.line(a) % uint64(c.sets))
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == ln {
+			wasDirty = c.dirty[base+w]
+			c.tags[base+w] = 0
+			c.stamps[base+w] = 0
+			c.dirty[base+w] = false
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// insert installs a line with a given dirty state, returning any evicted
+// line (victim-cache insertion for exclusive hierarchies).
+func (c *Cache) insert(a mem.Addr, dirty bool) (evicted mem.Addr, evictedValid, evictedDirty bool) {
+	ln := c.line(a) + 1
+	set := int(c.line(a) % uint64(c.sets))
+	base := set * c.assoc
+	victim, oldest := base, c.stamps[base]
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.tags[i] == 0 {
+			victim = i
+			oldest = 0
+			break
+		}
+		if c.stamps[i] < oldest {
+			victim, oldest = i, c.stamps[i]
+		}
+	}
+	if c.tags[victim] != 0 {
+		c.Stats.Evictions++
+		evicted = mem.Addr(c.tags[victim]-1) << c.blockShift
+		evictedValid = true
+		evictedDirty = c.dirty[victim]
+	}
+	c.clock++
+	c.tags[victim] = ln
+	c.stamps[victim] = c.clock
+	c.dirty[victim] = dirty
+	return evicted, evictedValid, evictedDirty
+}
+
+// Reset invalidates all lines and zeroes the counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+		c.dirty[i] = false
+	}
+	c.clock = 0
+	c.Stats = Stats{}
+}
+
+// Hierarchy is the full tree of caches plus the DRAM links of one machine.
+type Hierarchy struct {
+	Desc  *machine.Desc
+	space *mem.Space
+	// levels[i] holds the caches of machine level i; levels[0] is nil
+	// (memory has no cache object).
+	levels [][]*Cache
+
+	linkFree []int64 // next free cycle per DRAM link
+
+	// DRAM accounting.
+	DRAMAccesses int64
+	StallCycles  int64 // total cycles cores waited on busy links
+	Writebacks   int64 // dirty lines written back to memory
+	RemoteHits   int64 // DRAM accesses served by a remote socket's link
+}
+
+// New builds the cache tree for desc, with pages placed by space.
+func New(desc *machine.Desc, space *mem.Space) *Hierarchy {
+	if err := desc.Validate(); err != nil {
+		panic(fmt.Sprintf("cachesim: %v", err))
+	}
+	if space.Links() != desc.Links {
+		panic(fmt.Sprintf("cachesim: space has %d links, machine has %d", space.Links(), desc.Links))
+	}
+	h := &Hierarchy{
+		Desc:     desc,
+		space:    space,
+		levels:   make([][]*Cache, desc.NumLevels()),
+		linkFree: make([]int64, desc.Links),
+	}
+	for lvl := 1; lvl < desc.NumLevels(); lvl++ {
+		n := desc.NodesAt(lvl)
+		h.levels[lvl] = make([]*Cache, n)
+		for id := 0; id < n; id++ {
+			h.levels[lvl][id] = newCache(lvl, id, desc.Levels[lvl].Size, desc.Levels[lvl].BlockSize)
+		}
+	}
+	return h
+}
+
+// CacheAt returns the cache at the given level above the given leaf.
+func (h *Hierarchy) CacheAt(level, leaf int) *Cache {
+	return h.levels[level][h.Desc.NodeOf(level, leaf)]
+}
+
+// Caches returns all caches at a level.
+func (h *Hierarchy) Caches(level int) []*Cache { return h.levels[level] }
+
+// Access simulates a memory access from leaf at simulated time now and
+// returns the number of cycles the access costs the core. servedLevel is
+// the machine level that supplied the line (0 = DRAM).
+func (h *Hierarchy) Access(leaf int, now int64, a mem.Addr, write bool) (cost int64, servedLevel int) {
+	nl := h.Desc.NumLevels()
+	// Probe innermost (highest index) to outermost (level 1).
+	served := 0
+	for lvl := nl - 1; lvl >= 1; lvl-- {
+		if h.CacheAt(lvl, leaf).probe(a, write) {
+			served = lvl
+			break
+		}
+	}
+	if served == 0 {
+		// DRAM access: queue on the page's link.
+		link := h.space.LinkOf(a)
+		start := now
+		if h.linkFree[link] > start {
+			start = h.linkFree[link]
+		}
+		wait := start - now
+		h.linkFree[link] = start + h.Desc.LineService
+		h.DRAMAccesses++
+		h.StallCycles += wait
+		cost = wait + h.Desc.LineService + h.Desc.MemLatency
+		// NUMA: crossing to another socket's DRAM link pays the QPI +
+		// remote-link latency (§5.2), when links map 1:1 to sockets.
+		if h.Desc.RemoteLatency > 0 && h.Desc.Links == h.Desc.NodesAt(1) && link != h.Desc.NodeOf(1, leaf) {
+			cost += h.Desc.RemoteLatency
+			h.RemoteHits++
+		}
+	} else {
+		cost = h.Desc.Levels[served].HitCost
+		if write && served > 1 {
+			// Propagate the dirty bit to the outermost resident copy so
+			// its eventual eviction is written back.
+			h.CacheAt(1, leaf).markDirty(a)
+		}
+	}
+	if h.Desc.NonInclusive {
+		h.exclusiveFill(leaf, now, a, write, served)
+	} else {
+		// Inclusive fill of every level that missed.
+		for lvl := served + 1; lvl < nl; lvl++ {
+			ev, dirtyEv := h.CacheAt(lvl, leaf).fill(a, write)
+			if lvl == 1 && dirtyEv {
+				h.writeback(now, ev)
+			}
+		}
+	}
+	return cost, served
+}
+
+// writeback reserves the evicted dirty line's DRAM link for one transfer
+// slot; write buffers hide the latency from the core, but the bandwidth is
+// consumed.
+func (h *Hierarchy) writeback(now int64, ev mem.Addr) {
+	wbLink := h.space.LinkOf(ev)
+	wbStart := now
+	if h.linkFree[wbLink] > wbStart {
+		wbStart = h.linkFree[wbLink]
+	}
+	h.linkFree[wbLink] = wbStart + h.Desc.LineService
+	h.Writebacks++
+}
+
+// exclusiveFill implements the victim-cache (non-inclusive) policy: the
+// accessed line moves into the innermost cache only; if it was served by
+// an outer cache it is removed there; victims cascade outward level by
+// level, and a dirty victim of the outermost cache is written back.
+func (h *Hierarchy) exclusiveFill(leaf int, now int64, a mem.Addr, write bool, served int) {
+	nl := h.Desc.NumLevels()
+	if served == nl-1 {
+		return // already innermost; probe updated LRU and dirty state
+	}
+	dirty := write
+	if served > 0 {
+		if h.CacheAt(served, leaf).invalidate(a) {
+			dirty = true
+		}
+	}
+	lineAddr, lineDirty := a, dirty
+	for lvl := nl - 1; lvl >= 1; lvl-- {
+		ev, evValid, evDirty := h.CacheAt(lvl, leaf).insert(lineAddr, lineDirty)
+		if !evValid {
+			return
+		}
+		if lvl == 1 {
+			if evDirty {
+				h.writeback(now, ev)
+			}
+			return
+		}
+		lineAddr, lineDirty = ev, evDirty
+	}
+}
+
+// MissesAt returns the total misses across all caches of a level. For the
+// outermost level this equals the DRAM access count — the paper's L3 miss
+// metric on the Xeon.
+func (h *Hierarchy) MissesAt(level int) int64 {
+	var total int64
+	for _, c := range h.levels[level] {
+		total += c.Stats.Misses
+	}
+	return total
+}
+
+// HitsAt returns the total hits across all caches of a level.
+func (h *Hierarchy) HitsAt(level int) int64 {
+	var total int64
+	for _, c := range h.levels[level] {
+		total += c.Stats.Hits
+	}
+	return total
+}
+
+// Reset clears all caches, link occupancy and DRAM counters.
+func (h *Hierarchy) Reset() {
+	for _, lvl := range h.levels {
+		for _, c := range lvl {
+			c.Reset()
+		}
+	}
+	for i := range h.linkFree {
+		h.linkFree[i] = 0
+	}
+	h.DRAMAccesses = 0
+	h.StallCycles = 0
+	h.Writebacks = 0
+	h.RemoteHits = 0
+}

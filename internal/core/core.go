@@ -1,0 +1,233 @@
+// Package core composes the framework's pieces — machine model, simulated
+// memory, cache hierarchy, schedulers, runtime engine, benchmarks and
+// schedule validation — behind one session API. It is the layer the
+// command-line tools, the examples and the public schedsim facade build
+// on: pick a machine, pick a scheduler, run a benchmark, get the paper's
+// metrics (time breakdown and cache misses at every level).
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/job"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Session fixes the machine-side configuration for one or more runs.
+type Session struct {
+	// Machine is the PMH to simulate. Required.
+	Machine *machine.Desc
+	// LinksUsed restricts DRAM links (bandwidth); 0 means all links.
+	LinksUsed int
+	// Seed drives scheduler randomness and input generation.
+	Seed uint64
+	// Cost overrides the default cost model when non-zero.
+	Cost sched.CostModel
+	// Trace records the schedule and validates it after the run.
+	Trace bool
+	// PageSize sets the DRAM-link placement granularity; 0 picks a size
+	// proportional to the machine's L3 (2MB hugepages on the full-size
+	// Xeon, smaller on scaled machines).
+	PageSize int64
+}
+
+// RunResult bundles the simulator result with the optional trace.
+type RunResult struct {
+	*sim.Result
+	Kernel kernels.Kernel
+	Trace  *trace.Recorder
+}
+
+// RunJob executes an arbitrary job on the session's machine. The space sp
+// must be the one the job's data was allocated in.
+func (s *Session) RunJob(schedName string, sp *mem.Space, root job.Job) (*RunResult, error) {
+	sc := sched.New(schedName)
+	if sc == nil {
+		return nil, fmt.Errorf("core: unknown scheduler %q (have %s)", schedName, strings.Join(sched.Names(), ", "))
+	}
+	var rec *trace.Recorder
+	var listener sim.Listener
+	if s.Trace {
+		rec = trace.New()
+		listener = rec
+	}
+	res, err := sim.Run(sim.Config{
+		Machine:   s.Machine,
+		Space:     sp,
+		Scheduler: sc,
+		Cost:      s.Cost,
+		Seed:      s.Seed,
+		Listener:  listener,
+	}, root)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{Result: res, Trace: rec}
+	if rec != nil {
+		if err := rec.ValidateSchedule(s.Machine); err != nil {
+			return nil, fmt.Errorf("core: invalid schedule: %w", err)
+		}
+		if sb, ok := sc.(*sched.SB); ok {
+			if err := rec.ValidateSpaceBounded(s.Machine, sb.Sigma); err != nil {
+				return nil, fmt.Errorf("core: space-bounded properties violated: %w", err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// space builds the session's address space.
+func (s *Session) space() *mem.Space {
+	links := s.LinksUsed
+	if links == 0 {
+		links = s.Machine.Links
+	}
+	ps := s.PageSize
+	if ps == 0 {
+		// Proportional default: 2MB hugepages go with a 24MB L3; keep the
+		// same ratio on scaled machines, clamped to [4KB, 2MB].
+		ps = 1 << 12
+		for ps < 2<<20 && ps*12 < s.Machine.Levels[1].Size {
+			ps <<= 1
+		}
+	}
+	return mem.NewSpacePaged(s.Machine.Links, links, ps)
+}
+
+// BenchOpts sizes a named benchmark; zero fields take benchmark defaults.
+type BenchOpts struct {
+	// N is the input size (elements; matrix dimension for matmul).
+	N int
+	// Cutoff is the serial/base-case threshold where applicable.
+	Cutoff int
+	// Seed drives input generation; 0 uses the session seed.
+	Seed uint64
+}
+
+// Benchmarks lists the names accepted by NewKernel, in the paper's order.
+func Benchmarks() []string {
+	return []string{"rrm", "rrg", "quicksort", "samplesort", "awaresamplesort", "quadtree", "matmul"}
+}
+
+// NewKernel constructs a named benchmark in sp, sized by o, for machine m
+// (the aware samplesort reads its L3 size from m).
+func NewKernel(name string, sp *mem.Space, m *machine.Desc, o BenchOpts) (kernels.Kernel, error) {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	switch strings.ToLower(name) {
+	case "rrm":
+		n := defaultN(o.N, 160_000)
+		return kernels.NewRRM(sp, kernels.RRMConfig{N: n, Base: o.Cutoff, Seed: seed}), nil
+	case "rrg":
+		n := defaultN(o.N, 160_000)
+		return kernels.NewRRG(sp, kernels.RRGConfig{N: n, Base: o.Cutoff, Seed: seed}), nil
+	case "quicksort", "qsort":
+		n := defaultN(o.N, 600_000)
+		return kernels.NewQuicksort(sp, kernels.QuicksortConfig{N: n, SerialCutoff: o.Cutoff, Seed: seed}), nil
+	case "samplesort", "ssort":
+		n := defaultN(o.N, 600_000)
+		return kernels.NewSamplesort(sp, kernels.SamplesortConfig{N: n, Cutoff: o.Cutoff, Seed: seed}), nil
+	case "awaresamplesort", "awsort":
+		n := defaultN(o.N, 600_000)
+		return kernels.NewAwareSamplesort(sp, kernels.AwareSamplesortConfig{
+			N: n, L3Bytes: m.Levels[1].Size, SerialCutoff: o.Cutoff, Seed: seed,
+		}), nil
+	case "quadtree", "quad-tree":
+		n := defaultN(o.N, 400_000)
+		return kernels.NewQuadtree(sp, kernels.QuadtreeConfig{N: n, Cutoff: o.Cutoff, Seed: seed}), nil
+	case "matmul":
+		n := defaultN(o.N, 256)
+		return kernels.NewMatMul(sp, kernels.MatMulConfig{N: n, Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("core: unknown benchmark %q (have %s)", name, strings.Join(Benchmarks(), ", "))
+}
+
+func defaultN(n, d int) int {
+	if n > 0 {
+		return n
+	}
+	return d
+}
+
+// RunKernel builds the named benchmark, runs it under the named scheduler,
+// verifies its output, and returns the metrics.
+func (s *Session) RunKernel(schedName, benchName string, o BenchOpts) (*RunResult, error) {
+	if s.Machine == nil {
+		return nil, fmt.Errorf("core: session has no machine")
+	}
+	if err := s.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Seed == 0 {
+		o.Seed = s.Seed + 1
+	}
+	sp := s.space()
+	k, err := NewKernel(benchName, sp, s.Machine, o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.RunJob(schedName, sp, k.Root())
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Verify(); err != nil {
+		return nil, fmt.Errorf("core: %s under %s produced wrong output: %w", k.Name(), schedName, err)
+	}
+	res.Kernel = k
+	return res, nil
+}
+
+// MachineByName resolves a machine preset: "xeon7560", "xeon7560ht",
+// "4x<n>" (n cores per socket), "4x<n>ht", or "flat<n>". scale divides all
+// cache sizes (1 = full size).
+func MachineByName(name string, scale int64) (*machine.Desc, error) {
+	var d *machine.Desc
+	switch n := strings.ToLower(name); {
+	case n == "xeon7560" || n == "xeon":
+		d = machine.Xeon7560()
+	case n == "xeon7560ht" || n == "xeonht" || n == "ht":
+		d = machine.Xeon7560HT()
+	case strings.HasPrefix(n, "4x"):
+		rest := strings.TrimPrefix(n, "4x")
+		ht := strings.HasSuffix(rest, "ht")
+		rest = strings.TrimSuffix(rest, "ht")
+		var cps int
+		if _, err := fmt.Sscanf(rest, "%d", &cps); err != nil {
+			return nil, fmt.Errorf("core: bad topology %q", name)
+		}
+		d = machine.XeonVariant(cps, ht)
+	case strings.HasPrefix(n, "flat"):
+		var cores int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(n, "flat"), "%d", &cores); err != nil {
+			return nil, fmt.Errorf("core: bad flat machine %q", name)
+		}
+		d = machine.Flat(cores, 24<<20)
+	default:
+		// Fall back to a machine file: JSON, or the paper's Fig. 4
+		// C-style configuration-entry format.
+		var err error
+		d, err = machine.Load(name)
+		if err != nil {
+			if b, rerr := os.ReadFile(name); rerr == nil {
+				if fd, ferr := machine.ParseFigConfig(string(b)); ferr == nil {
+					d = fd
+					break
+				}
+			}
+			return nil, fmt.Errorf("core: unknown machine %q and not a loadable file: %w", name, err)
+		}
+	}
+	if scale > 1 {
+		d = machine.Scaled(d, scale)
+	}
+	return d, nil
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestChunkSensitivityStable(t *testing.T) {
+	var buf bytes.Buffer
+	p := Quick()
+	p.Reps = 1
+	r := NewRunner(p, &buf)
+	rows, err := r.ChunkSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Misses must be chunk-independent to within a few percent: the
+	// engine's interleaving granularity is not allowed to drive results.
+	base := rows[0].M.L3Misses.Mean
+	for _, row := range rows[1:] {
+		if dev := math.Abs(row.M.L3Misses.Mean-base) / base; dev > 0.05 {
+			t.Errorf("%s: misses deviate %.1f%% from chunk-1024 baseline", row.Group, 100*dev)
+		}
+	}
+}
+
+func TestQueueContentionSBDCheaper(t *testing.T) {
+	var buf bytes.Buffer
+	p := Quick()
+	p.Reps = 1
+	r := NewRunner(p, &buf)
+	rows, err := r.QueueContention()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the largest topology, SB-D's call-back overhead (excluding idle
+	// time) must not exceed SB's: the distributed top bucket removes the
+	// serialization hotspot.
+	var sb, sbd float64
+	for _, row := range rows {
+		if row.Group != "4x8x2(HT)" {
+			continue
+		}
+		cb := row.M.OverSec.Mean - row.M.EmptySec.Mean
+		if row.Scheduler == "SB" {
+			sb = cb
+		} else {
+			sbd = cb
+		}
+	}
+	if sb == 0 || sbd == 0 {
+		t.Fatal("missing 64-core rows")
+	}
+	if sbd > sb*1.1 {
+		t.Errorf("SB-D call-back overhead (%.4g) above SB (%.4g)", sbd, sb)
+	}
+}
+
+func TestMuSweepRuns(t *testing.T) {
+	var buf bytes.Buffer
+	p := Quick()
+	p.Reps = 1
+	r := NewRunner(p, &buf)
+	rows, err := r.MuSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.M.L3Misses.Mean <= 0 {
+			t.Errorf("%s: no misses recorded", row.Group)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// WriteCSV exports figure rows (one per grid cell, trimmed-mean metrics
+// plus spread) for external plotting.
+func WriteCSV(path string, rows []FigRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{
+		"group", "scheduler",
+		"active_s", "overhead_s", "empty_s", "total_s", "wall_s",
+		"l3_misses", "l3_misses_std", "dram_stall_cycles", "reps",
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Group, r.Scheduler,
+			fmtF(r.M.ActiveSec.Mean), fmtF(r.M.OverSec.Mean), fmtF(r.M.EmptySec.Mean),
+			fmtF(r.M.TimeSec()), fmtF(r.M.WallSec.Mean),
+			fmtF(r.M.L3Misses.Mean), fmtF(r.M.L3Misses.Std), fmtF(r.M.DRAMStall.Mean),
+			strconv.Itoa(r.M.L3Misses.N),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }

@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// KernelFactory builds a fresh benchmark instance for one run. Instances
+// are single-use (runs mutate their arrays), so every repetition
+// constructs its own.
+type KernelFactory func(sp *mem.Space, m *machine.Desc, seed uint64) kernels.Kernel
+
+// SchedFactory builds a fresh scheduler for one run.
+type SchedFactory func() sched.Scheduler
+
+// Cell identifies one grid point of an experiment.
+type Cell struct {
+	Label     string // e.g. benchmark name
+	Scheduler string
+	Machine   *machine.Desc
+	LinksUsed int // 1..Machine.Links: the bandwidth knob
+	MakeK     KernelFactory
+	MakeS     SchedFactory
+	// Cost overrides the default cost model (zero value = defaults);
+	// used by the ablation experiments.
+	Cost sched.CostModel
+}
+
+// Metrics aggregates one cell's repetitions. Times are in seconds at the
+// simulated machine's clock; misses are absolute counts.
+type Metrics struct {
+	Cell      Cell
+	ActiveSec stats.Summary
+	OverSec   stats.Summary // add+done+get+empty overhead (§3.3 ii-v)
+	EmptySec  stats.Summary // empty-queue component alone (Fig. 10)
+	WallSec   stats.Summary
+	L3Misses  stats.Summary
+	DRAMStall stats.Summary // cycles stalled on memory links
+}
+
+// TimeSec returns mean active + mean overhead, the paper's stacked bars.
+func (m Metrics) TimeSec() float64 { return m.ActiveSec.Mean + m.OverSec.Mean }
+
+// Runner executes experiment grids.
+type Runner struct {
+	P   Profile
+	Out io.Writer
+	// Workers bounds concurrent cells (each simulation is internally
+	// sequential); 0 means GOMAXPROCS.
+	Workers int
+	// Verbose prints each run as it completes.
+	Verbose bool
+}
+
+// NewRunner returns a Runner writing tables to out.
+func NewRunner(p Profile, out io.Writer) *Runner {
+	return &Runner{P: p, Out: out}
+}
+
+// RunCell executes one cell: Reps repetitions with distinct seeds.
+func (r *Runner) RunCell(c Cell) (Metrics, error) {
+	reps := r.P.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	var active, over, empty, wall, misses, stall []float64
+	for rep := 0; rep < reps; rep++ {
+		seed := r.P.Seed + uint64(rep)
+		sp := mem.NewSpacePaged(c.Machine.Links, c.LinksUsed, r.P.PageSize())
+		k := c.MakeK(sp, c.Machine, seed)
+		res, err := sim.Run(sim.Config{
+			Machine:   c.Machine,
+			Space:     sp,
+			Scheduler: c.MakeS(),
+			Cost:      c.Cost,
+			Seed:      seed,
+		}, k.Root())
+		if err != nil {
+			return Metrics{}, fmt.Errorf("exp: %s/%s rep %d: %w", c.Label, c.Scheduler, rep, err)
+		}
+		if err := k.Verify(); err != nil {
+			return Metrics{}, fmt.Errorf("exp: %s/%s rep %d: output verification failed: %w", c.Label, c.Scheduler, rep, err)
+		}
+		active = append(active, res.ActiveSeconds())
+		over = append(over, res.OverheadSeconds())
+		empty = append(empty, c.Machine.Seconds(int64(res.EmptyAvg())))
+		wall = append(wall, res.WallSeconds())
+		misses = append(misses, float64(res.L3Misses()))
+		stall = append(stall, float64(res.StallCycles))
+	}
+	return Metrics{
+		Cell:      c,
+		ActiveSec: stats.Summarize(active),
+		OverSec:   stats.Summarize(over),
+		EmptySec:  stats.Summarize(empty),
+		WallSec:   stats.Summarize(wall),
+		L3Misses:  stats.Summarize(misses),
+		DRAMStall: stats.Summarize(stall),
+	}, nil
+}
+
+// RunGrid executes cells (in order) with bounded host parallelism and
+// returns metrics in the same order.
+func (r *Runner) RunGrid(cells []Cell) ([]Metrics, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	out := make([]Metrics, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = r.RunCell(cells[i])
+				if r.Verbose && errs[i] == nil {
+					fmt.Fprintf(r.Out, "# done %-16s %-8s bw=%d/%d: time=%.4gs L3=%.4g\n",
+						cells[i].Label, cells[i].Scheduler, cells[i].LinksUsed, cells[i].Machine.Links,
+						out[i].TimeSec(), out[i].L3Misses.Mean)
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- benchmark factories at the profile's scale ------------------------------
+
+// RRMFactory builds the Fig. 5 RRM instance.
+func (p Profile) RRMFactory() KernelFactory {
+	return func(sp *mem.Space, m *machine.Desc, seed uint64) kernels.Kernel {
+		return kernels.NewRRM(sp, kernels.RRMConfig{N: p.RRMN, Base: p.RRBase, Grain: p.RRGrain, Seed: seed})
+	}
+}
+
+// RRGFactory builds the Fig. 6 RRG instance.
+func (p Profile) RRGFactory() KernelFactory {
+	return func(sp *mem.Space, m *machine.Desc, seed uint64) kernels.Kernel {
+		return kernels.NewRRG(sp, kernels.RRGConfig{N: p.RRGN, Base: p.RRBase, Grain: p.RRGrain, Seed: seed})
+	}
+}
+
+// QuicksortFactory builds the Fig. 8/9 quicksort instance.
+func (p Profile) QuicksortFactory() KernelFactory {
+	return func(sp *mem.Space, m *machine.Desc, seed uint64) kernels.Kernel {
+		return kernels.NewQuicksort(sp, kernels.QuicksortConfig{
+			N: p.SortN, SerialCutoff: p.SerialCutoff, PartCutoff: p.PartCutoff, Chunk: p.Chunk, Seed: seed,
+		})
+	}
+}
+
+// SamplesortFactory builds the Fig. 8/9 samplesort instance.
+func (p Profile) SamplesortFactory() KernelFactory {
+	return func(sp *mem.Space, m *machine.Desc, seed uint64) kernels.Kernel {
+		return kernels.NewSamplesort(sp, kernels.SamplesortConfig{N: p.SortN, Cutoff: p.SerialCutoff, Seed: seed})
+	}
+}
+
+// AwareSamplesortFactory builds the Fig. 8/9 aware samplesort; it reads
+// the L3 size off the machine (it is the cache-aware algorithm).
+func (p Profile) AwareSamplesortFactory() KernelFactory {
+	return func(sp *mem.Space, m *machine.Desc, seed uint64) kernels.Kernel {
+		return kernels.NewAwareSamplesort(sp, kernels.AwareSamplesortConfig{
+			N: p.SortN, L3Bytes: m.Levels[1].Size, Chunk: p.Chunk,
+			SerialCutoff: p.SerialCutoff, PartCutoff: p.PartCutoff, Seed: seed,
+		})
+	}
+}
+
+// QuadtreeFactory builds the Fig. 8/9/10 quad-tree instance.
+func (p Profile) QuadtreeFactory() KernelFactory {
+	return func(sp *mem.Space, m *machine.Desc, seed uint64) kernels.Kernel {
+		return kernels.NewQuadtree(sp, kernels.QuadtreeConfig{N: p.QuadN, Cutoff: p.QuadCutoff, Chunk: p.Chunk, Seed: seed})
+	}
+}
+
+// MatMulFactory builds the Fig. 8/9 matrix multiplication instance.
+func (p Profile) MatMulFactory() KernelFactory {
+	return func(sp *mem.Space, m *machine.Desc, seed uint64) kernels.Kernel {
+		return kernels.NewMatMul(sp, kernels.MatMulConfig{N: p.MatmulN, Base: p.MatmulBase, Seed: seed})
+	}
+}
+
+// SchedulerFactories returns constructors for the named schedulers.
+func SchedulerFactories(names ...string) []SchedFactory {
+	out := make([]SchedFactory, len(names))
+	for i, n := range names {
+		n := n
+		out[i] = func() sched.Scheduler { return sched.New(n) }
+	}
+	return out
+}

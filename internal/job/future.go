@@ -1,0 +1,60 @@
+package job
+
+// Future is a handle to a task whose completion other strands can await —
+// the non-nested parallel construct the paper notes the interface "could
+// be readily extended to handle" (§3.1, citing Spoonhower et al.). A
+// future task is spawned with Ctx.ForkFuture, which does not block the
+// spawning task's continuation; any task can later gate a continuation on
+// one or more futures with Ctx.ForkAwait.
+//
+// Future tasks remain children of their spawning task for termination
+// purposes (a task does not complete until its future children do), which
+// keeps the computation terminally strict and every schedule finite.
+type Future struct {
+	// engine-managed state; a Future must be used in at most one
+	// simulation run.
+	done    bool
+	task    *Task
+	waiters []*Task
+}
+
+// NewFuture returns an unresolved future handle.
+func NewFuture() *Future { return &Future{} }
+
+// Done reports whether the future's task has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Task returns the future's task once spawned (nil before ForkFuture).
+func (f *Future) Task() *Task { return f.task }
+
+// --- engine hooks (exported within the module via these methods to keep
+// the Future's fields encapsulated) ---
+
+// Bind attaches the spawned task to the handle. Engine use only.
+func (f *Future) Bind(t *Task) {
+	if f.task != nil {
+		panic("job: future spawned twice")
+	}
+	f.task = t
+}
+
+// AddWaiter registers a task whose current block awaits f; it returns
+// false if f is already done (nothing to wait for). Engine use only.
+func (f *Future) AddWaiter(t *Task) bool {
+	if f.done {
+		return false
+	}
+	f.waiters = append(f.waiters, t)
+	return true
+}
+
+// Complete marks f done and returns the tasks to release. Engine use only.
+func (f *Future) Complete() []*Task {
+	if f.done {
+		panic("job: future completed twice")
+	}
+	f.done = true
+	ws := f.waiters
+	f.waiters = nil
+	return ws
+}

@@ -1,0 +1,96 @@
+package job
+
+// For returns a Job that evaluates body(ctx, i) for every lo <= i < hi,
+// in parallel, by recursive binary splitting down to ranges of at most
+// grain iterations — the parallel_for primitive the paper builds on fork
+// and join (§3.1).
+//
+// size, if non-nil, reports the footprint in bytes of the loop body over an
+// index range [lo, hi); it makes the returned job an SBJob so that
+// space-bounded schedulers can anchor loop subtrees. With a nil size the
+// job is unannotated.
+func For(lo, hi, grain int, size RangeSize, body func(Ctx, int)) Job {
+	if grain < 1 {
+		grain = 1
+	}
+	f := &forJob{lo: lo, hi: hi, grain: grain, size: size, body: body}
+	if size == nil {
+		return plainForJob{f}
+	}
+	return f
+}
+
+// RangeSize reports the memory footprint in bytes of a loop body over the
+// index range [lo, hi).
+type RangeSize func(lo, hi int) int64
+
+type forJob struct {
+	lo, hi, grain int
+	size          RangeSize
+	body          func(Ctx, int)
+}
+
+// Run implements Job: leaf ranges run serially; larger ranges fork in two.
+func (f *forJob) Run(ctx Ctx) {
+	if f.hi-f.lo <= f.grain {
+		for i := f.lo; i < f.hi; i++ {
+			f.body(ctx, i)
+		}
+		return
+	}
+	mid := f.lo + (f.hi-f.lo)/2
+	left := &forJob{lo: f.lo, hi: mid, grain: f.grain, size: f.size, body: f.body}
+	right := &forJob{lo: mid, hi: f.hi, grain: f.grain, size: f.size, body: f.body}
+	ctx.Fork(nil, left, right)
+}
+
+// Size implements SBJob.
+func (f *forJob) Size(int64) int64 { return f.size(f.lo, f.hi) }
+
+// StrandSize implements SBJob: an internal node's strand only forks (it
+// touches a constant number of lines); a leaf strand touches its range.
+func (f *forJob) StrandSize(block int64) int64 {
+	if f.hi-f.lo <= f.grain {
+		return f.size(f.lo, f.hi)
+	}
+	return block
+}
+
+// plainForJob hides the SBJob methods of forJob for unannotated loops.
+type plainForJob struct{ f *forJob }
+
+// Run implements Job.
+func (p plainForJob) Run(ctx Ctx) {
+	f := p.f
+	if f.hi-f.lo <= f.grain {
+		for i := f.lo; i < f.hi; i++ {
+			f.body(ctx, i)
+		}
+		return
+	}
+	mid := f.lo + (f.hi-f.lo)/2
+	left := plainForJob{&forJob{lo: f.lo, hi: mid, grain: f.grain, body: f.body}}
+	right := plainForJob{&forJob{lo: mid, hi: f.hi, grain: f.grain, body: f.body}}
+	ctx.Fork(nil, left, right)
+}
+
+// Seq returns a Job that runs the given jobs' top-level strands one after
+// another as successive strands of a single task, i.e. a serial composition
+// t = j1; j2; ... built from single-child parallel blocks.
+func Seq(jobs ...Job) Job {
+	return FuncJob(func(ctx Ctx) {
+		runSeq(ctx, jobs)
+	})
+}
+
+func runSeq(ctx Ctx, jobs []Job) {
+	if len(jobs) == 0 {
+		return
+	}
+	head, rest := jobs[0], jobs[1:]
+	if len(rest) == 0 {
+		ctx.Fork(nil, head)
+		return
+	}
+	ctx.Fork(FuncJob(func(c Ctx) { runSeq(c, rest) }), head)
+}

@@ -1,0 +1,103 @@
+// Package kernels implements the seven benchmarks of the paper's
+// experimental study (§5.1): the synthetic divide-and-conquer
+// micro-benchmarks RRM and RRG, and the algorithmic kernels quicksort,
+// samplesort, (cache-)aware samplesort, quad-tree and matrix
+// multiplication.
+//
+// Every kernel is a nested-parallel program in the framework's Job model,
+// fully annotated with task and strand sizes so it runs under all
+// schedulers (work-stealing variants ignore the annotations). Kernels do
+// real computation on simulated arrays — outputs are verified after every
+// run — while each element access is reported to the cache simulator.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// Kernel is a runnable, verifiable benchmark instance. A Kernel is
+// single-use: construct, run its Root job once, then Verify.
+type Kernel interface {
+	// Name identifies the benchmark in reports.
+	Name() string
+	// Root returns the top-level job of the computation.
+	Root() job.Job
+	// Verify checks the output for correctness after the run.
+	Verify() error
+	// InputBytes returns the benchmark's primary input size in bytes.
+	InputBytes() int64
+}
+
+// workPerElem is the compute charge (cycles) per element operation in
+// streaming kernels, modeling the arithmetic between memory accesses.
+const workPerElem = 1
+
+// fillRandom populates data with deterministic pseudo-random doubles.
+func fillRandom(data []float64, seed uint64) {
+	r := xrand.New(seed)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+}
+
+// copyJob returns a parallel job copying src to dst (same length).
+func copyJob(src, dst mem.F64, grain int) job.Job {
+	if src.Len() != dst.Len() {
+		panic("kernels: copyJob length mismatch")
+	}
+	size := func(lo, hi int) int64 { return int64(hi-lo) * 16 }
+	return job.For(0, src.Len(), grain, size, func(ctx job.Ctx, i int) {
+		dst.Write(ctx, i, src.Read(ctx, i))
+		ctx.Work(workPerElem)
+	})
+}
+
+// isSorted reports the first out-of-order index, or -1.
+func isSorted(xs []float64) int {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// checksum is an order-independent multiset fingerprint used to verify
+// that sorting kernels permute rather than corrupt their input.
+func checksum(xs []float64) (sum, sumSq float64) {
+	for _, v := range xs {
+		sum += v
+		sumSq += v * v
+	}
+	return sum, sumSq
+}
+
+// near compares two checksum components with a relative tolerance that
+// absorbs floating-point reassociation across permutations.
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	return d <= 1e-6*scale
+}
+
+func verifySorted(name string, out []float64, wantSum, wantSq float64) error {
+	if i := isSorted(out); i >= 0 {
+		return fmt.Errorf("%s: output not sorted at index %d (%v > %v)", name, i, out[i-1], out[i])
+	}
+	sum, sq := checksum(out)
+	if !near(sum, wantSum) || !near(sq, wantSq) {
+		return fmt.Errorf("%s: output is not a permutation of the input (Σ %v vs %v, Σ² %v vs %v)",
+			name, sum, wantSum, sq, wantSq)
+	}
+	return nil
+}

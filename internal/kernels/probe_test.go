@@ -1,0 +1,34 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestSamplesortMissAttribution logs where samplesort's L3 misses come
+// from (element streams vs count-matrix traffic) under WS and SB.
+func TestSamplesortMissAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	m := machine.Scaled(machine.Xeon7560HT(), 64)
+	for _, variant := range []string{"full", "nocounts"} {
+		for _, sn := range []string{"ws", "sb"} {
+			sp := mem.NewSpacePaged(m.Links, m.Links, 32<<10)
+			k := NewSamplesort(sp, SamplesortConfig{N: 300_000, Seed: 7})
+			k.ProbeSkipCounts = variant == "nocounts"
+			res, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.New(sn), Seed: 7}, k.Root())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-9s %-3s L3=%d", variant, sn, res.L3Misses())
+		}
+	}
+}

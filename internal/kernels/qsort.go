@@ -1,0 +1,351 @@
+package kernels
+
+import (
+	"repro/internal/job"
+	"repro/internal/mem"
+)
+
+// Quicksort is the parallel quicksort of §5.1: it parallelizes both the
+// partition and the recursive calls, using a median-of-3 pivot. Below
+// PartCutoff it parallelizes only the recursion (sequential in-place
+// partition); below SerialCutoff it runs serially. The paper's thresholds
+// are 128K and 16K for 100M-element inputs; scaled instances scale them.
+type Quicksort struct {
+	A, Buf mem.F64
+	qsParams
+
+	wantSum, wantSq float64
+}
+
+// qsParams holds the quicksort thresholds, shared with the aware
+// samplesort's per-bucket sorts.
+type qsParams struct {
+	// SerialCutoff is the serial-sort threshold (paper: 16K).
+	SerialCutoff int
+	// PartCutoff is the parallel-partition threshold (paper: 128K).
+	PartCutoff int
+	// Chunk is the per-strand block size of the parallel partition.
+	Chunk int
+}
+
+// QuicksortConfig parameterizes NewQuicksort; zero fields take defaults
+// proportional to the paper's (relative to N).
+type QuicksortConfig struct {
+	N            int
+	SerialCutoff int
+	PartCutoff   int
+	Chunk        int
+	Seed         uint64
+}
+
+// NewQuicksort allocates and fills a Quicksort instance in sp.
+func NewQuicksort(sp *mem.Space, cfg QuicksortConfig) *Quicksort {
+	if cfg.N <= 0 {
+		panic("kernels: Quicksort requires N > 0")
+	}
+	if cfg.SerialCutoff == 0 {
+		cfg.SerialCutoff = 2048
+	}
+	if cfg.PartCutoff == 0 {
+		cfg.PartCutoff = 8 * cfg.SerialCutoff
+	}
+	if cfg.Chunk == 0 {
+		cfg.Chunk = 1024
+	}
+	k := &Quicksort{
+		A:        sp.NewF64("qsort.A", cfg.N),
+		Buf:      sp.NewF64("qsort.buf", cfg.N),
+		qsParams: qsParams{SerialCutoff: cfg.SerialCutoff, PartCutoff: cfg.PartCutoff, Chunk: cfg.Chunk},
+	}
+	fillRandom(k.A.Data, cfg.Seed)
+	k.wantSum, k.wantSq = checksum(k.A.Data)
+	return k
+}
+
+// Name implements Kernel.
+func (k *Quicksort) Name() string { return "Quicksort" }
+
+// InputBytes implements Kernel.
+func (k *Quicksort) InputBytes() int64 { return k.A.Bytes() }
+
+// Root implements Kernel.
+func (k *Quicksort) Root() job.Job {
+	return &qsJob{p: &k.qsParams, a: k.A, b: k.Buf}
+}
+
+// Verify implements Kernel.
+func (k *Quicksort) Verify() error {
+	return verifySorted("Quicksort", k.A.Data, k.wantSum, k.wantSq)
+}
+
+// --- shared serial pieces ---------------------------------------------------
+
+// medianOf3 reads three candidate pivots and returns their median.
+func medianOf3(ctx job.Ctx, a mem.F64) float64 {
+	n := a.Len()
+	x, y, z := a.Read(ctx, 0), a.Read(ctx, n/2), a.Read(ctx, n-1)
+	if x > y {
+		x, y = y, x
+	}
+	if y > z {
+		y = z
+		if x > y {
+			y = x
+		}
+	}
+	return y
+}
+
+// insertionSort sorts a[lo:hi) in place with simulated accesses.
+func insertionSort(ctx job.Ctx, a mem.F64, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		v := a.Read(ctx, i)
+		j := i - 1
+		for j >= lo && a.Read(ctx, j) > v {
+			a.Write(ctx, j+1, a.Read(ctx, j))
+			j--
+			ctx.Work(workPerElem)
+		}
+		a.Write(ctx, j+1, v)
+	}
+}
+
+// hoarePartition partitions a[lo:hi) around pivot value p, returning the
+// split index m such that a[lo:m) <= p <= a[m:hi) element-wise.
+func hoarePartition(ctx job.Ctx, a mem.F64, lo, hi int, p float64) int {
+	i, j := lo-1, hi
+	for {
+		for {
+			i++
+			if a.Read(ctx, i) >= p {
+				break
+			}
+		}
+		for {
+			j--
+			if a.Read(ctx, j) <= p {
+				break
+			}
+		}
+		if i >= j {
+			return j + 1
+		}
+		vi, vj := a.Data[i], a.Data[j] // values already read above
+		a.Write(ctx, i, vj)
+		a.Write(ctx, j, vi)
+		ctx.Work(workPerElem)
+	}
+}
+
+// serialQuickSort sorts a in place within the current strand.
+func serialQuickSort(ctx job.Ctx, a mem.F64) {
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		for hi-lo > 24 {
+			mid := a.Sub(lo, hi)
+			p := medianOf3(ctx, mid)
+			m := hoarePartition(ctx, a, lo, hi, p)
+			if m <= lo || m >= hi {
+				// Degenerate split (all-equal range): fall back to
+				// insertion sort to guarantee progress.
+				break
+			}
+			if m-lo < hi-m {
+				rec(lo, m)
+				lo = m
+			} else {
+				rec(m, hi)
+				hi = m
+			}
+		}
+		insertionSort(ctx, a, lo, hi)
+	}
+	rec(0, a.Len())
+}
+
+// --- parallel quicksort job -------------------------------------------------
+
+// qsJob sorts a in place, using the same-length scratch b.
+type qsJob struct {
+	p    *qsParams
+	a, b mem.F64
+}
+
+func (q *qsJob) Run(ctx job.Ctx) {
+	n := q.a.Len()
+	switch {
+	case n <= q.p.SerialCutoff:
+		serialQuickSort(ctx, q.a)
+	case n <= q.p.PartCutoff:
+		// Sequential partition, parallel recursion.
+		p := medianOf3(ctx, q.a)
+		m := hoarePartition(ctx, q.a, 0, n, p)
+		if m <= 0 || m >= n {
+			serialQuickSort(ctx, q.a)
+			return
+		}
+		ctx.Fork(nil,
+			&qsJob{p: q.p, a: q.a.Sub(0, m), b: q.b.Sub(0, m)},
+			&qsJob{p: q.p, a: q.a.Sub(m, n), b: q.b.Sub(m, n)})
+	default:
+		// Parallel three-way partition into b, then copy back, then
+		// recurse on the less/greater regions.
+		p := medianOf3(ctx, q.a)
+		chunks := (n + q.p.Chunk - 1) / q.p.Chunk
+		st := &qsPartState{pivot: p, counts: make([][3]int, chunks)}
+		ctx.Fork(&qsScatterPhase{q: q, st: st}, q.countJob(st))
+	}
+}
+
+// Size implements job.SBJob: above PartCutoff the sort streams both a and
+// its scratch b (parallel partition + copy back); below it the partition
+// is sequential and in place, touching only a.
+func (q *qsJob) Size(int64) int64 {
+	if q.a.Len() <= q.p.PartCutoff {
+		return int64(q.a.Len()) * 8
+	}
+	return int64(q.a.Len()) * 16
+}
+
+// StrandSize implements job.SBJob: the top strand of a parallel-partition
+// node reads only a few pivot candidates, but a sequential-partition or
+// serial node streams its whole range.
+func (q *qsJob) StrandSize(block int64) int64 {
+	if q.a.Len() <= q.p.PartCutoff {
+		return int64(q.a.Len()) * 8
+	}
+	return block
+}
+
+// qsPartState carries the partition's shared bookkeeping between phases.
+// The per-chunk counters live in host memory (scheduler-invisible control
+// metadata); the element traffic itself is fully simulated.
+type qsPartState struct {
+	pivot  float64
+	counts [][3]int // per chunk: {less, equal, greater}
+	lt, gt int      // split points, filled by the scatter phase
+}
+
+func (q *qsJob) chunkBounds(c int) (int, int) {
+	lo := c * q.p.Chunk
+	hi := lo + q.p.Chunk
+	if hi > q.a.Len() {
+		hi = q.a.Len()
+	}
+	return lo, hi
+}
+
+// countJob scans chunks of a, classifying elements against the pivot.
+func (q *qsJob) countJob(st *qsPartState) job.Job {
+	chunks := len(st.counts)
+	size := func(lo, hi int) int64 { return int64(hi-lo) * int64(q.p.Chunk) * 8 }
+	return job.For(0, chunks, 1, size, func(ctx job.Ctx, c int) {
+		lo, hi := q.chunkBounds(c)
+		var cnt [3]int
+		for i := lo; i < hi; i++ {
+			v := q.a.Read(ctx, i)
+			switch {
+			case v < st.pivot:
+				cnt[0]++
+			case v == st.pivot:
+				cnt[1]++
+			default:
+				cnt[2]++
+			}
+			ctx.Work(workPerElem)
+		}
+		st.counts[c] = cnt
+	})
+}
+
+// qsScatterPhase computes the partition offsets and forks the scatter.
+type qsScatterPhase struct {
+	q  *qsJob
+	st *qsPartState
+}
+
+func (ph *qsScatterPhase) Run(ctx job.Ctx) {
+	q, st := ph.q, ph.st
+	chunks := len(st.counts)
+	var lt, eq int
+	for _, c := range st.counts {
+		lt += c[0]
+		eq += c[1]
+	}
+	st.lt, st.gt = lt, lt+eq
+	// Per-chunk write cursors into the three regions.
+	offs := make([][3]int, chunks)
+	cur := [3]int{0, st.lt, st.gt}
+	for c := 0; c < chunks; c++ {
+		offs[c] = cur
+		cur[0] += st.counts[c][0]
+		cur[1] += st.counts[c][1]
+		cur[2] += st.counts[c][2]
+	}
+	ctx.Work(int64(chunks))
+	size := func(lo, hi int) int64 { return int64(hi-lo) * int64(q.p.Chunk) * 16 }
+	scatter := job.For(0, chunks, 1, size, func(c2 job.Ctx, c int) {
+		lo, hi := q.chunkBounds(c)
+		o := offs[c]
+		for i := lo; i < hi; i++ {
+			v := q.a.Read(c2, i)
+			var region int
+			switch {
+			case v < st.pivot:
+				region = 0
+			case v == st.pivot:
+				region = 1
+			default:
+				region = 2
+			}
+			q.b.Write(c2, o[region], v)
+			o[region]++
+			c2.Work(workPerElem)
+		}
+	})
+	ctx.Fork(&qsRecursePhase{q: q, st: st}, scatter)
+}
+
+// Size/StrandSize: the phase belongs to the same task working set.
+func (ph *qsScatterPhase) Size(int64) int64             { return int64(ph.q.a.Len()) * 16 }
+func (ph *qsScatterPhase) StrandSize(block int64) int64 { return block }
+
+// qsRecursePhase copies the partitioned buffer back and forks the
+// recursive sorts of the less and greater regions.
+type qsRecursePhase struct {
+	q  *qsJob
+	st *qsPartState
+}
+
+func (ph *qsRecursePhase) Run(ctx job.Ctx) {
+	q := ph.q
+	copyBack := copyJob(q.b, q.a, q.p.Chunk)
+	ctx.Fork(&qsForkPhase{q: q, st: ph.st}, copyBack)
+}
+
+func (ph *qsRecursePhase) Size(int64) int64             { return int64(ph.q.a.Len()) * 16 }
+func (ph *qsRecursePhase) StrandSize(block int64) int64 { return block }
+
+// qsForkPhase launches the recursive sorts after the copy-back completes.
+type qsForkPhase struct {
+	q  *qsJob
+	st *qsPartState
+}
+
+func (ph *qsForkPhase) Run(ctx job.Ctx) {
+	q, st := ph.q, ph.st
+	n := q.a.Len()
+	children := make([]job.Job, 0, 2)
+	if st.lt > 1 {
+		children = append(children, &qsJob{p: q.p, a: q.a.Sub(0, st.lt), b: q.b.Sub(0, st.lt)})
+	}
+	if n-st.gt > 1 {
+		children = append(children, &qsJob{p: q.p, a: q.a.Sub(st.gt, n), b: q.b.Sub(st.gt, n)})
+	}
+	if len(children) > 0 {
+		ctx.Fork(nil, children...)
+	}
+}
+
+func (ph *qsForkPhase) Size(int64) int64             { return int64(ph.q.a.Len()) * 16 }
+func (ph *qsForkPhase) StrandSize(block int64) int64 { return block }

@@ -1,0 +1,173 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// RRG is the recursive repeated gather micro-benchmark (§5.1): like RRM
+// but each pass sets B[i] = A[I[i] mod n'] with random indices I, making
+// the accesses random rather than linear — even more memory-intensive.
+// As with RRM, once a recursive call fits in a cache all remaining accesses
+// are hits because the gather stays within the current subrange.
+type RRG struct {
+	A, B mem.F64
+	I    mem.I64
+	R    int
+	Cut  float64
+	Base int
+	// Grain is the parallel-for leaf size of each gather pass.
+	Grain int
+}
+
+// RRGConfig parameterizes NewRRG; zero fields take paper defaults.
+type RRGConfig struct {
+	N     int
+	R     int     // default 3
+	Cut   float64 // default 0.5
+	Base  int     // default 2048
+	Grain int     // default 512
+	Seed  uint64
+}
+
+// NewRRG allocates and initializes an RRG instance in sp.
+func NewRRG(sp *mem.Space, cfg RRGConfig) *RRG {
+	if cfg.N <= 0 {
+		panic("kernels: RRG requires N > 0")
+	}
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	if cfg.Cut == 0 {
+		cfg.Cut = 0.5
+	}
+	if cfg.Base == 0 {
+		cfg.Base = 2048
+	}
+	if cfg.Grain == 0 {
+		cfg.Grain = 512
+	}
+	k := &RRG{
+		A:     sp.NewF64("rrg.A", cfg.N),
+		B:     sp.NewF64("rrg.B", cfg.N),
+		I:     sp.NewI64("rrg.I", cfg.N),
+		R:     cfg.R,
+		Cut:   cfg.Cut,
+		Base:  cfg.Base,
+		Grain: cfg.Grain,
+	}
+	fillRandom(k.A.Data, cfg.Seed)
+	r := xrand.New(cfg.Seed + 0x5bd1e995)
+	for i := range k.I.Data {
+		k.I.Data[i] = r.Int63()
+	}
+	return k
+}
+
+// Name implements Kernel.
+func (k *RRG) Name() string { return "RRG" }
+
+// InputBytes implements Kernel.
+func (k *RRG) InputBytes() int64 { return k.A.Bytes() + k.B.Bytes() + k.I.Bytes() }
+
+// Root implements Kernel.
+func (k *RRG) Root() job.Job {
+	return &rrgTask{k: k, a: k.A, b: k.B, idx: k.I, pass: 0}
+}
+
+type rrgTask struct {
+	k    *RRG
+	a, b mem.F64
+	idx  mem.I64
+	pass int
+}
+
+// gather performs B[i] = A[I[i] mod n] for one element of the current
+// subrange: one index read, one random read, one write.
+func gather(ctx job.Ctx, a, b mem.F64, idx mem.I64, i int) {
+	j := int(idx.Read(ctx, i) % int64(a.Len()))
+	b.Write(ctx, i, a.Read(ctx, j))
+	ctx.Work(workPerElem)
+}
+
+func (t *rrgTask) gatherPass() job.Job {
+	a, b, idx := t.a, t.b, t.idx
+	size := func(lo, hi int) int64 { return int64(hi-lo) * 24 }
+	return job.For(0, a.Len(), t.k.Grain, size, func(ctx job.Ctx, i int) {
+		gather(ctx, a, b, idx, i)
+	})
+}
+
+// Run implements job.Job.
+func (t *rrgTask) Run(ctx job.Ctx) {
+	n := t.a.Len()
+	if n <= t.k.Base {
+		for p := 0; p < t.k.R; p++ {
+			for i := 0; i < n; i++ {
+				gather(ctx, t.a, t.b, t.idx, i)
+			}
+		}
+		return
+	}
+	if t.pass < t.k.R {
+		next := &rrgTask{k: t.k, a: t.a, b: t.b, idx: t.idx, pass: t.pass + 1}
+		ctx.Fork(next, t.gatherPass())
+		return
+	}
+	cut := int(float64(n) * t.k.Cut)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	ctx.Fork(nil,
+		&rrgTask{k: t.k, a: t.a.Sub(0, cut), b: t.b.Sub(0, cut), idx: t.idx.Sub(0, cut)},
+		&rrgTask{k: t.k, a: t.a.Sub(cut, n), b: t.b.Sub(cut, n), idx: t.idx.Sub(cut, n)})
+}
+
+// Size implements job.SBJob: A, B and I subranges.
+func (t *rrgTask) Size(int64) int64 { return int64(t.a.Len()) * 24 }
+
+// StrandSize implements job.SBJob.
+func (t *rrgTask) StrandSize(block int64) int64 {
+	if t.a.Len() <= t.k.Base {
+		return int64(t.a.Len()) * 24
+	}
+	return block
+}
+
+// Verify implements Kernel: replay the recursion's final gathers
+// sequentially and compare. The last pass over each base-case range gathers
+// within that range, so B[i] = A[lo + I[i] mod (hi-lo)] for i's base range.
+func (k *RRG) Verify() error {
+	n := k.A.Len()
+	var check func(lo, hi int) error
+	check = func(lo, hi int) error {
+		m := hi - lo
+		if m <= k.Base {
+			for i := lo; i < hi; i++ {
+				j := lo + int(k.I.Data[i]%int64(m))
+				if k.B.Data[i] != k.A.Data[j] {
+					return fmt.Errorf("RRG: B[%d] = %v, want A[%d] = %v", i, k.B.Data[i], j, k.A.Data[j])
+				}
+			}
+			return nil
+		}
+		cut := int(float64(m) * k.Cut)
+		if cut < 1 {
+			cut = 1
+		}
+		if cut >= m {
+			cut = m - 1
+		}
+		if err := check(lo, lo+cut); err != nil {
+			return err
+		}
+		return check(lo+cut, hi)
+	}
+	return check(0, n)
+}

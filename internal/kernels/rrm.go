@@ -1,0 +1,146 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/mem"
+)
+
+// RRM is the recursive repeated map micro-benchmark (§5.1): r point-wise
+// map passes from A to B over the current range, then a recursive split of
+// both arrays by the cut ratio f. It is memory-intensive — almost no work
+// per access — but once a recursive call fits in a cache all remaining
+// accesses are hits, which is exactly the locality structure space-bounded
+// schedulers exploit.
+type RRM struct {
+	A, B mem.F64
+	// R is the number of repeated passes per level (paper default 3).
+	R int
+	// Cut is the split ratio f (paper default 0.5).
+	Cut float64
+	// Base is the range length at which recursion stops.
+	Base int
+	// Grain is the parallel-for leaf size of each map pass.
+	Grain int
+}
+
+// RRMConfig parameterizes NewRRM; zero fields take paper defaults.
+type RRMConfig struct {
+	N     int     // number of elements (required)
+	R     int     // repeats, default 3
+	Cut   float64 // cut ratio, default 0.5
+	Base  int     // recursion base, default 2048
+	Grain int     // map-pass grain, default 512
+	Seed  uint64
+}
+
+// NewRRM allocates and initializes an RRM instance in sp.
+func NewRRM(sp *mem.Space, cfg RRMConfig) *RRM {
+	if cfg.N <= 0 {
+		panic("kernels: RRM requires N > 0")
+	}
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	if cfg.Cut == 0 {
+		cfg.Cut = 0.5
+	}
+	if cfg.Base == 0 {
+		cfg.Base = 2048
+	}
+	if cfg.Grain == 0 {
+		cfg.Grain = 512
+	}
+	k := &RRM{
+		A:     sp.NewF64("rrm.A", cfg.N),
+		B:     sp.NewF64("rrm.B", cfg.N),
+		R:     cfg.R,
+		Cut:   cfg.Cut,
+		Base:  cfg.Base,
+		Grain: cfg.Grain,
+	}
+	fillRandom(k.A.Data, cfg.Seed)
+	return k
+}
+
+// Name implements Kernel.
+func (k *RRM) Name() string { return "RRM" }
+
+// InputBytes implements Kernel.
+func (k *RRM) InputBytes() int64 { return k.A.Bytes() + k.B.Bytes() }
+
+// Root implements Kernel.
+func (k *RRM) Root() job.Job {
+	return &rrmTask{k: k, a: k.A, b: k.B, pass: 0}
+}
+
+// rrmTask performs the r map passes over its range (as successive parallel
+// blocks, one per pass), then forks the two recursive halves.
+type rrmTask struct {
+	k    *RRM
+	a, b mem.F64
+	pass int
+}
+
+// mapPass returns the parallel map of one pass over the task's range.
+func (t *rrmTask) mapPass() job.Job {
+	a, b, k := t.a, t.b, t.k
+	size := func(lo, hi int) int64 { return int64(hi-lo) * 16 }
+	return job.For(0, a.Len(), k.Grain, size, func(ctx job.Ctx, i int) {
+		b.Write(ctx, i, a.Read(ctx, i)+1)
+		ctx.Work(workPerElem)
+	})
+}
+
+// Run implements job.Job.
+func (t *rrmTask) Run(ctx job.Ctx) {
+	n := t.a.Len()
+	if n <= t.k.Base {
+		// Base case: all r passes serially within this strand.
+		for p := 0; p < t.k.R; p++ {
+			for i := 0; i < n; i++ {
+				t.b.Write(ctx, i, t.a.Read(ctx, i)+1)
+				ctx.Work(workPerElem)
+			}
+		}
+		return
+	}
+	if t.pass < t.k.R {
+		next := &rrmTask{k: t.k, a: t.a, b: t.b, pass: t.pass + 1}
+		ctx.Fork(next, t.mapPass())
+		return
+	}
+	cut := int(float64(n) * t.k.Cut)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	ctx.Fork(nil,
+		&rrmTask{k: t.k, a: t.a.Sub(0, cut), b: t.b.Sub(0, cut)},
+		&rrmTask{k: t.k, a: t.a.Sub(cut, n), b: t.b.Sub(cut, n)})
+}
+
+// Size implements job.SBJob: the task touches its A and B subranges.
+func (t *rrmTask) Size(int64) int64 { return int64(t.a.Len()) * 16 }
+
+// StrandSize implements job.SBJob: non-base strands only fork.
+func (t *rrmTask) StrandSize(block int64) int64 {
+	if t.a.Len() <= t.k.Base {
+		return int64(t.a.Len()) * 16
+	}
+	return block
+}
+
+// Verify implements Kernel: B must equal A+1 everywhere (the final pass at
+// every recursion level rewrites B from A).
+func (k *RRM) Verify() error {
+	for i := range k.A.Data {
+		if k.B.Data[i] != k.A.Data[i]+1 {
+			return fmt.Errorf("RRM: B[%d] = %v, want A[%d]+1 = %v", i, k.B.Data[i], i, k.A.Data[i]+1)
+		}
+	}
+	return nil
+}

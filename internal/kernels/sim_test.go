@@ -1,0 +1,132 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// simMachine is a small scaled Xeon-like machine for integration tests.
+func simMachine() *machine.Desc { return machine.Scaled(machine.Xeon7560(), 256) }
+
+// buildKernel constructs each benchmark at integration-test scale.
+func buildKernel(name string, sp *mem.Space, m *machine.Desc, seed uint64) Kernel {
+	switch name {
+	case "rrm":
+		return NewRRM(sp, RRMConfig{N: 20000, Base: 512, Grain: 256, Seed: seed})
+	case "rrg":
+		return NewRRG(sp, RRGConfig{N: 20000, Base: 512, Grain: 256, Seed: seed})
+	case "qsort":
+		return NewQuicksort(sp, QuicksortConfig{N: 30000, SerialCutoff: 512, PartCutoff: 4096, Chunk: 512, Seed: seed})
+	case "ssort":
+		return NewSamplesort(sp, SamplesortConfig{N: 30000, Cutoff: 512, Seed: seed})
+	case "awsort":
+		return NewAwareSamplesort(sp, AwareSamplesortConfig{
+			N: 30000, L3Bytes: m.Levels[1].Size, SerialCutoff: 512, PartCutoff: 4096, Seed: seed,
+		})
+	case "quadtree":
+		return NewQuadtree(sp, QuadtreeConfig{N: 30000, Cutoff: 512, Chunk: 512, Seed: seed})
+	case "matmul":
+		return NewMatMul(sp, MatMulConfig{N: 128, Base: 16, Seed: seed})
+	}
+	panic("unknown kernel " + name)
+}
+
+var allKernelNames = []string{"rrm", "rrg", "qsort", "ssort", "awsort", "quadtree", "matmul"}
+
+func TestKernelsUnderSimulationAllSchedulers(t *testing.T) {
+	m := simMachine()
+	for _, kn := range allKernelNames {
+		for _, sn := range []string{"ws", "sb"} {
+			sp := mem.NewSpace(m.Links, m.Links)
+			k := buildKernel(kn, sp, m, 42)
+			res, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.New(sn), Seed: 1}, k.Root())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kn, sn, err)
+			}
+			if err := k.Verify(); err != nil {
+				t.Errorf("%s/%s: %v", kn, sn, err)
+			}
+			if res.L3Misses() <= 0 {
+				t.Errorf("%s/%s: no L3 misses recorded", kn, sn)
+			}
+		}
+	}
+}
+
+func TestKernelsSpaceBoundedScheduleValid(t *testing.T) {
+	// Every kernel's SB schedule must satisfy the anchored and bounded
+	// properties of §4.1 — this is the full-system check that the size
+	// annotations and the scheduler agree.
+	m := simMachine()
+	for _, kn := range allKernelNames {
+		for _, sn := range []string{"sb", "sbd"} {
+			sp := mem.NewSpace(m.Links, m.Links)
+			k := buildKernel(kn, sp, m, 7)
+			rec := trace.New()
+			_, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.New(sn), Seed: 2, Listener: rec}, k.Root())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kn, sn, err)
+			}
+			if err := rec.ValidateSchedule(m); err != nil {
+				t.Errorf("%s/%s schedule: %v", kn, sn, err)
+			}
+			if err := rec.ValidateSpaceBounded(m, sched.DefaultSigma); err != nil {
+				t.Errorf("%s/%s space-bounded: %v", kn, sn, err)
+			}
+		}
+	}
+}
+
+func TestKernelsDeterministicAcrossRuns(t *testing.T) {
+	m := simMachine()
+	for _, kn := range []string{"rrm", "qsort"} {
+		var walls [2]int64
+		for rep := 0; rep < 2; rep++ {
+			sp := mem.NewSpace(m.Links, m.Links)
+			k := buildKernel(kn, sp, m, 5)
+			res, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 9}, k.Root())
+			if err != nil {
+				t.Fatal(err)
+			}
+			walls[rep] = res.WallCycles
+		}
+		if walls[0] != walls[1] {
+			t.Errorf("%s: nondeterministic wall %d vs %d", kn, walls[0], walls[1])
+		}
+	}
+}
+
+func TestRRMSBReducesL3MissesVsWS(t *testing.T) {
+	// The headline effect at integration-test scale: a memory-intensive
+	// divide-and-conquer benchmark must incur noticeably fewer outermost-
+	// level misses under SB than under WS (paper: 25-65%).
+	m := simMachine()
+	run := func(sn string) int64 {
+		sp := mem.NewSpace(m.Links, m.Links)
+		// Size the instance several times the L3 so unfolding matters:
+		// scaled L3 = 96KB; 16n bytes = 640KB ≈ 6.7 L3s.
+		k := NewRRM(sp, RRMConfig{N: 40000, Base: 256, Grain: 256, Seed: 3})
+		res, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.New(sn), Seed: 4}, k.Root())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return res.L3Misses()
+	}
+	ws, sb := run("ws"), run("sb")
+	if sb >= ws {
+		t.Errorf("SB misses (%d) not below WS misses (%d)", sb, ws)
+	}
+	reduction := 100 * float64(ws-sb) / float64(ws)
+	t.Logf("L3 miss reduction SB vs WS: %.1f%% (ws=%d sb=%d)", reduction, ws, sb)
+	if reduction < 10 {
+		t.Errorf("L3 miss reduction only %.1f%%, expected a substantial gap", reduction)
+	}
+}

@@ -1,0 +1,86 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pco"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestTheorem1BoundRRM checks the paper's central guarantee empirically:
+// for any space-bounded schedule, the number of level-i cache misses is at
+// most Q*(t; µσM_i, B_i) (Theorem 1 with the modified µ-boundedness rule).
+// We run RRM under SB and SB-D and compare measured misses at every cache
+// level with the exact PCO recursion for RRM.
+func TestTheorem1BoundRRM(t *testing.T) {
+	m := machine.Scaled(machine.Xeon7560(), 256)
+	const n, r = 40000, 3
+	for _, sn := range []string{"sb", "sbd"} {
+		sp := mem.NewSpace(m.Links, m.Links)
+		k := NewRRM(sp, RRMConfig{N: n, R: r, Base: 256, Grain: 256, Seed: 5})
+		res, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.New(sn), Seed: 6}, k.Root())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lvl := 1; lvl < m.NumLevels(); lvl++ {
+			cap := int64(sched.DefaultMu * sched.DefaultSigma * float64(m.Levels[lvl].Size))
+			bound := pco.RRMQ(n, r, 0.5, cap, m.Levels[lvl].BlockSize)
+			got := res.MissesPerLevel[lvl]
+			if got > bound {
+				t.Errorf("%s: level %d (%s) misses %d exceed Theorem 1 bound Q*(µσM)=%d",
+					sn, lvl, m.Levels[lvl].Name, got, bound)
+			}
+		}
+		// Non-vacuousness at the outermost level: the bound should be
+		// within an order of magnitude of the measurement.
+		cap := int64(sched.DefaultMu * sched.DefaultSigma * float64(m.Levels[1].Size))
+		bound := pco.RRMQ(n, r, 0.5, cap, m.Block())
+		if got := res.MissesPerLevel[1]; float64(bound) > 10*float64(got) {
+			t.Errorf("%s: L3 bound %d is vacuous against measured %d", sn, bound, got)
+		}
+	}
+}
+
+// TestTheorem1BoundRRG is the same check for the gather benchmark.
+func TestTheorem1BoundRRG(t *testing.T) {
+	m := machine.Scaled(machine.Xeon7560(), 256)
+	const n, r = 30000, 3
+	for _, sn := range []string{"sb", "sbd"} {
+		sp := mem.NewSpace(m.Links, m.Links)
+		k := NewRRG(sp, RRGConfig{N: n, R: r, Base: 256, Grain: 256, Seed: 7})
+		res, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.New(sn), Seed: 8}, k.Root())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lvl := 1; lvl < m.NumLevels(); lvl++ {
+			cap := int64(sched.DefaultMu * sched.DefaultSigma * float64(m.Levels[lvl].Size))
+			bound := pco.RRGQ(n, r, 0.5, cap, m.Levels[lvl].BlockSize)
+			if got := res.MissesPerLevel[lvl]; got > bound {
+				t.Errorf("%s: level %d misses %d exceed bound %d", sn, lvl, got, bound)
+			}
+		}
+	}
+}
+
+// TestSigmaOneStillBounded runs SB at the extreme σ=1.0: anchoring is as
+// aggressive as the definition allows and the boundedness property must
+// still hold (the Fig. 10 load-balance cost notwithstanding).
+func TestSigmaOneStillBounded(t *testing.T) {
+	m := machine.Scaled(machine.Xeon7560(), 256)
+	sp := mem.NewSpace(m.Links, m.Links)
+	k := NewRRM(sp, RRMConfig{N: 30000, Base: 256, Grain: 256, Seed: 9})
+	res, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.NewSB(1.0, 0.2), Seed: 10}, k.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	bound := pco.RRMQ(30000, 3, 0.5, int64(0.2*float64(m.Levels[1].Size)), m.Block())
+	if got := res.MissesPerLevel[1]; got > bound {
+		t.Errorf("σ=1.0 misses %d exceed bound %d", got, bound)
+	}
+}

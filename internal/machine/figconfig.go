@@ -1,0 +1,175 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFigConfig parses a machine specification in the paper's own
+// configuration-entry format (Fig. 4):
+//
+//	int num_procs=32;
+//	int num_levels = 4;
+//	int fan_outs[4] = {4,8,1,1};
+//	long long int sizes[4] = {0, 3*(1<<22), 1<<18, 1<<15};
+//	int block_sizes[4] = {64,64,64,64};
+//	int map[32] = {0,4,8,12, ...};
+//
+// Values may be decimal integers, 1<<k shifts, or products of those (the
+// paper writes 3*(1<<22)). Timing parameters are not part of the paper's
+// format; the returned description uses the Xeon 7560 defaults, which
+// callers may override.
+func ParseFigConfig(text string) (*Desc, error) {
+	// Strip //-comments line by line before splitting on ';' (comments may
+	// contain semicolons).
+	var clean strings.Builder
+	for _, ln := range strings.Split(text, "\n") {
+		if i := strings.Index(ln, "//"); i >= 0 {
+			ln = ln[:i]
+		}
+		clean.WriteString(ln)
+		clean.WriteByte('\n')
+	}
+	fields := map[string][]int64{}
+	scalars := map[string]int64{}
+	for _, rawLine := range strings.Split(clean.String(), ";") {
+		line := strings.TrimSpace(rawLine)
+		if line == "" {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("machine: config line %q has no '='", line)
+		}
+		name := figFieldName(line[:eq])
+		rhs := strings.TrimSpace(line[eq+1:])
+		if strings.HasPrefix(rhs, "{") {
+			if !strings.HasSuffix(rhs, "}") {
+				return nil, fmt.Errorf("machine: unterminated list in %q", line)
+			}
+			var vals []int64
+			for _, item := range strings.Split(strings.Trim(rhs, "{}"), ",") {
+				v, err := evalFigExpr(item)
+				if err != nil {
+					return nil, fmt.Errorf("machine: field %s: %w", name, err)
+				}
+				vals = append(vals, v)
+			}
+			fields[name] = vals
+		} else {
+			v, err := evalFigExpr(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("machine: field %s: %w", name, err)
+			}
+			scalars[name] = v
+		}
+	}
+
+	numLevels := int(scalars["num_levels"])
+	if numLevels < 2 {
+		return nil, fmt.Errorf("machine: num_levels = %d, need >= 2", numLevels)
+	}
+	fanOuts, sizes, blocks := fields["fan_outs"], fields["sizes"], fields["block_sizes"]
+	if len(fanOuts) != numLevels || len(sizes) != numLevels || len(blocks) != numLevels {
+		return nil, fmt.Errorf("machine: fan_outs/sizes/block_sizes must each have num_levels=%d entries", numLevels)
+	}
+
+	ref := Xeon7560() // timing defaults
+	d := &Desc{
+		Name:          "figconfig",
+		Levels:        make([]Level, numLevels),
+		MemLatency:    ref.MemLatency,
+		RemoteLatency: ref.RemoteLatency,
+		LineService:   ref.LineService,
+		Links:         int(fanOuts[0]),
+		ClockGHz:      ref.ClockGHz,
+	}
+	names := []string{"RAM", "L3", "L2", "L1", "L0"}
+	costs := []int64{0, xeonL3Cost, xeonL2Cost, xeonL1Cost, 1}
+	for i := 0; i < numLevels; i++ {
+		nm, cost := fmt.Sprintf("C%d", i), int64(1)
+		if i < len(names) {
+			nm, cost = names[i], costs[i]
+		}
+		d.Levels[i] = Level{
+			Name:      nm,
+			Size:      sizes[i],
+			BlockSize: blocks[i],
+			HitCost:   cost,
+			Fanout:    int(fanOuts[i]),
+		}
+	}
+	if m, ok := fields["map"]; ok {
+		if np, ok := scalars["num_procs"]; ok && int(np) != len(m) {
+			return nil, fmt.Errorf("machine: map has %d entries, num_procs = %d", len(m), np)
+		}
+		d.CoreMap = make([]int, len(m))
+		for i, v := range m {
+			d.CoreMap[i] = int(v)
+		}
+	}
+	if np, ok := scalars["num_procs"]; ok && int(np) != d.NumCores() {
+		return nil, fmt.Errorf("machine: num_procs = %d but fan_outs give %d cores", np, d.NumCores())
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// figFieldName extracts the identifier from a C-style declaration prefix
+// like "long long int sizes[4]".
+func figFieldName(decl string) string {
+	decl = strings.TrimSpace(decl)
+	if i := strings.IndexByte(decl, '['); i >= 0 {
+		decl = decl[:i]
+	}
+	parts := strings.Fields(decl)
+	if len(parts) == 0 {
+		return ""
+	}
+	return parts[len(parts)-1]
+}
+
+// evalFigExpr evaluates the integer expressions the paper's config uses:
+// decimal literals, (1<<k), and '*' products of those, with optional
+// parentheses around shift terms.
+func evalFigExpr(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	product := int64(1)
+	for _, factor := range strings.Split(s, "*") {
+		v, err := evalFigTerm(factor)
+		if err != nil {
+			return 0, err
+		}
+		product *= v
+	}
+	return product, nil
+}
+
+func evalFigTerm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	for strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	if i := strings.Index(s, "<<"); i >= 0 {
+		base, err := strconv.ParseInt(strings.TrimSpace(s[:i]), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad shift base in %q", s)
+		}
+		sh, err := strconv.ParseInt(strings.TrimSpace(s[i+2:]), 10, 64)
+		if err != nil || sh < 0 || sh > 62 {
+			return 0, fmt.Errorf("bad shift amount in %q", s)
+		}
+		return base << sh, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// fig4Text is the paper's Fig. 4 specification entry, verbatim.
+const fig4Text = `int num_procs=32;
+int num_levels = 4;
+int fan_outs[4] = {4,8,1,1};
+long long int sizes[4] = {0, 3*(1<<22), 1<<18, 1<<15};
+int block_sizes[4] = {64,64,64,64};
+int map[32] = {0,4,8,12,16,20,24,28,
+               2,6,10,14,18,22,26,30,
+               1,5,9,13,17,21,25,29,
+               3,7,11,15,19,23,27,31};`
+
+func TestParseFig4Verbatim(t *testing.T) {
+	d, err := ParseFigConfig(fig4Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCores() != 32 {
+		t.Errorf("cores = %d", d.NumCores())
+	}
+	if d.NumLevels() != 4 {
+		t.Errorf("levels = %d", d.NumLevels())
+	}
+	// Fig. 4 lists the L3 as 3*(1<<22) = 12MB (the text says 24MB; the
+	// parser reproduces the config as written).
+	if d.Levels[1].Size != 3*(1<<22) {
+		t.Errorf("L3 size = %d, want %d", d.Levels[1].Size, 3*(1<<22))
+	}
+	if d.Levels[2].Size != 1<<18 || d.Levels[3].Size != 1<<15 {
+		t.Errorf("L2/L1 sizes = %d/%d", d.Levels[2].Size, d.Levels[3].Size)
+	}
+	for i := 0; i < 4; i++ {
+		if d.Levels[i].BlockSize != 64 {
+			t.Errorf("block[%d] = %d", i, d.Levels[i].BlockSize)
+		}
+	}
+	// The map is the paper's: logical core 1 sits at position 4.
+	if d.LeafOf(1) != 4 {
+		t.Errorf("LeafOf(1) = %d, want 4", d.LeafOf(1))
+	}
+	if d.Links != 4 {
+		t.Errorf("links = %d", d.Links)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFigConfigWithoutMap(t *testing.T) {
+	txt := `int num_levels = 2;
+int fan_outs[2] = {1,8};
+long long int sizes[2] = {0, 1<<20};
+int block_sizes[2] = {64,64};`
+	d, err := ParseFigConfig(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCores() != 8 || d.CoreMap != nil {
+		t.Errorf("cores=%d map=%v", d.NumCores(), d.CoreMap)
+	}
+}
+
+func TestParseFigConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"no equals":        "int num_levels 4;",
+		"unterminated":     "int fan_outs[4] = {4,8,1,1",
+		"bad int":          "int num_levels = x;",
+		"bad shift":        "long long int sizes[1] = {1<<99};",
+		"level mismatch":   "int num_levels = 3;\nint fan_outs[2] = {1,2};\nlong long int sizes[2]={0,64};\nint block_sizes[2]={64,64};",
+		"procs mismatch":   fig4procsWrong,
+		"too few levels":   "int num_levels = 1;\nint fan_outs[1]={1};\nlong long int sizes[1]={0};\nint block_sizes[1]={64};",
+		"map len mismatch": strings.Replace(fig4Text, "num_procs=32", "num_procs=16", 1),
+	}
+	for name, txt := range cases {
+		if _, err := ParseFigConfig(txt); err == nil {
+			t.Errorf("%s: accepted invalid config", name)
+		}
+	}
+}
+
+var fig4procsWrong = strings.Replace(
+	strings.Replace(fig4Text, "num_procs=32", "num_procs=64", 1),
+	"int map[32] = {0,4,8,12,16,20,24,28,\n               2,6,10,14,18,22,26,30,\n               1,5,9,13,17,21,25,29,\n               3,7,11,15,19,23,27,31};", "", 1)
+
+func TestParsedConfigUsableEndToEnd(t *testing.T) {
+	d, err := ParseFigConfig(fig4Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scaled(d, 64)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalFigExpr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0}, {"64", 64}, {"1<<15", 1 << 15}, {"(1<<22)", 1 << 22},
+		{"3*(1<<22)", 3 * (1 << 22)}, {" 2 * 3 ", 6}, {"2*(1<<3)*2", 32},
+	}
+	for _, c := range cases {
+		got, err := evalFigExpr(c.in)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "a", "1<<", "<<3", "1<<-1"} {
+		if _, err := evalFigExpr(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestShippedMachineFiles(t *testing.T) {
+	// The machine descriptions shipped in machines/ must stay loadable and
+	// consistent with the presets.
+	d, err := Load("../../machines/xeon7560.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCores() != 32 || d.Levels[1].Size != 24<<20 {
+		t.Errorf("shipped xeon7560.json drifted: %s", d)
+	}
+	ht, err := Load("../../machines/xeon7560ht.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.NumCores() != 64 {
+		t.Errorf("shipped xeon7560ht.json drifted: %s", ht)
+	}
+	b, err := os.ReadFile("../../machines/fig4.cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseFigConfig(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumCores() != 32 {
+		t.Errorf("shipped fig4.cfg drifted: %s", cfg)
+	}
+}

@@ -1,0 +1,225 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestXeon7560MatchesFig4Topology(t *testing.T) {
+	d := Xeon7560()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 4: num_procs=32, num_levels=4, fan_outs={4,8,1,1}, block 64.
+	if got := d.NumCores(); got != 32 {
+		t.Errorf("NumCores = %d, want 32", got)
+	}
+	if got := d.NumLevels(); got != 4 {
+		t.Errorf("NumLevels = %d, want 4", got)
+	}
+	wantFan := []int{4, 8, 1, 1}
+	for i, f := range wantFan {
+		if d.Levels[i].Fanout != f {
+			t.Errorf("level %d fanout = %d, want %d", i, d.Levels[i].Fanout, f)
+		}
+	}
+	// Text/Fig. 1(a): 24MB L3, 256KB L2 (1<<18 in Fig. 4), 32KB L1 (1<<15).
+	if d.Levels[1].Size != 24<<20 {
+		t.Errorf("L3 size = %d, want 24MB", d.Levels[1].Size)
+	}
+	if d.Levels[2].Size != 1<<18 {
+		t.Errorf("L2 size = %d, want 256KB", d.Levels[2].Size)
+	}
+	if d.Levels[3].Size != 1<<15 {
+		t.Errorf("L1 size = %d, want 32KB", d.Levels[3].Size)
+	}
+	for i := range d.Levels {
+		if d.Levels[i].BlockSize != 64 {
+			t.Errorf("level %d block = %d, want 64", i, d.Levels[i].BlockSize)
+		}
+	}
+	if d.Links != 4 {
+		t.Errorf("Links = %d, want 4 (one per socket)", d.Links)
+	}
+}
+
+func TestXeonCoreMapMatchesFig4(t *testing.T) {
+	// Fig. 4's map: logical cores round-robin across sockets:
+	// {0,4,8,12,16,20,24,28, 2,6,... } read as position of each logical
+	// core; equivalently logical core i lives at socket i%4.
+	d := Xeon7560()
+	want := []int{0, 8, 16, 24, 1, 9, 17, 25} // first 8 logical cores
+	for i, w := range want {
+		if got := d.LeafOf(i); got != w {
+			t.Errorf("LeafOf(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Check it is a permutation implicitly via Validate (done above) and
+	// that each socket gets exactly 8 logical cores.
+	per := make([]int, 4)
+	for c := 0; c < 32; c++ {
+		per[d.LeafOf(c)/8]++
+	}
+	for s, n := range per {
+		if n != 8 {
+			t.Errorf("socket %d has %d logical cores, want 8", s, n)
+		}
+	}
+}
+
+func TestXeon7560HT(t *testing.T) {
+	d := Xeon7560HT()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NumCores(); got != 64 {
+		t.Errorf("HT cores = %d, want 64", got)
+	}
+	if d.Levels[3].Fanout != 2 {
+		t.Errorf("L1 fanout = %d, want 2 under HT", d.Levels[3].Fanout)
+	}
+}
+
+func TestXeonVariants(t *testing.T) {
+	for _, cps := range []int{1, 2, 4, 8} {
+		d := XeonVariant(cps, false)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("variant %d: %v", cps, err)
+		}
+		if got := d.NumCores(); got != 4*cps {
+			t.Errorf("variant %d cores = %d, want %d", cps, got, 4*cps)
+		}
+	}
+}
+
+func TestXeonVariantPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XeonVariant(9) did not panic")
+		}
+	}()
+	XeonVariant(9, false)
+}
+
+func TestNodesAt(t *testing.T) {
+	d := Xeon7560()
+	want := []int{1, 4, 32, 32}
+	for i, w := range want {
+		if got := d.NodesAt(i); got != w {
+			t.Errorf("NodesAt(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := d.NodesAt(4); got != 32 {
+		t.Errorf("NodesAt(4)=cores = %d, want 32", got)
+	}
+}
+
+func TestScaledPreservesTopology(t *testing.T) {
+	d := Xeon7560()
+	s := Scaled(d, 16)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCores() != d.NumCores() {
+		t.Errorf("scaling changed core count")
+	}
+	if s.Levels[1].Size != (24<<20)/16 {
+		t.Errorf("scaled L3 = %d, want %d", s.Levels[1].Size, (24<<20)/16)
+	}
+	// Original untouched.
+	if d.Levels[1].Size != 24<<20 {
+		t.Error("Scaled mutated its input")
+	}
+	// Very aggressive scaling clamps to a minimum, still valid.
+	tiny := Scaled(d, 1<<40)
+	if err := tiny.Validate(); err != nil {
+		t.Fatalf("tiny scaled machine invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadDescs(t *testing.T) {
+	base := func() *Desc { return Xeon7560() }
+	cases := []struct {
+		name string
+		mut  func(*Desc)
+	}{
+		{"too few levels", func(d *Desc) { d.Levels = d.Levels[:1] }},
+		{"finite memory", func(d *Desc) { d.Levels[0].Size = 1 }},
+		{"zero fanout", func(d *Desc) { d.Levels[1].Fanout = 0 }},
+		{"growing size", func(d *Desc) { d.Levels[2].Size = 1 << 30 }},
+		{"non-pow2 block", func(d *Desc) { d.Levels[1].BlockSize = 48 }},
+		{"size not multiple of block", func(d *Desc) { d.Levels[3].Size = 64*3 + 32 }},
+		{"negative hit cost", func(d *Desc) { d.Levels[1].HitCost = -1 }},
+		{"short core map", func(d *Desc) { d.CoreMap = d.CoreMap[:4] }},
+		{"non-permutation map", func(d *Desc) { d.CoreMap[0], d.CoreMap[1] = 3, 3 }},
+		{"no links", func(d *Desc) { d.Links = 0 }},
+		{"zero clock", func(d *Desc) { d.ClockGHz = 0 }},
+	}
+	for _, c := range cases {
+		d := base()
+		c.mut(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid description", c.name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := Xeon7560HT()
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.NumCores() != d.NumCores() || got.Levels[1].Size != d.Levels[1].Size {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, d)
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, `{"name":"bad","levels":[{"name":"RAM","size":0,"fanout":1}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted an invalid machine")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load accepted a missing file")
+	}
+}
+
+func TestSecondsAndString(t *testing.T) {
+	d := Flat(4, 1<<20)
+	if got := d.Seconds(2e9); got != 1.0 {
+		t.Errorf("Seconds(2e9) at 2GHz = %v, want 1.0", got)
+	}
+	s := Xeon7560().String()
+	for _, sub := range []string{"cores=32", "L3=24MB", "L2=256KB", "L1=32KB"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+func TestFlatAndTwoSocket(t *testing.T) {
+	if err := Flat(8, 1<<16).Validate(); err != nil {
+		t.Error(err)
+	}
+	d := TwoSocket(4, 1<<18, 1<<12)
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if d.NumCores() != 8 {
+		t.Errorf("TwoSocket cores = %d, want 8", d.NumCores())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

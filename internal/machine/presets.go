@@ -1,0 +1,147 @@
+package machine
+
+import "fmt"
+
+// Default cost-model constants for the Xeon 7560 (Nehalem-EX, 2.27 GHz).
+// HitCost values are conventional figures for the microarchitecture; the
+// experiments depend on their ordering and rough magnitudes, not on exact
+// values, which DESIGN.md documents as part of the simulation substitution.
+const (
+	xeonL1Cost     = 2   // cycles
+	xeonL2Cost     = 10  // cycles
+	xeonL3Cost     = 40  // cycles
+	xeonMemLatency = 180 // cycles beyond L3 cost
+	// xeonRemoteLatency: extra cycles when the request crosses the QPI to
+	// another socket's DRAM link (§5.2's remote-socket path).
+	xeonRemoteLatency = 60
+	// xeonLineService: cycles a DRAM link is busy per 64B line. At 2.27GHz
+	// this corresponds to ~9.7 GB/s per socket, in line with Nehalem-EX
+	// per-socket streaming bandwidth.
+	xeonLineService = 15
+	xeonClockGHz    = 2.27
+)
+
+// xeonCoreMap reproduces the logical-core to leaf-position map of Fig. 4 for
+// nCores cores over nSockets sockets: Linux numbers cores round-robin across
+// sockets, so logical core i sits on socket i%nSockets.
+func xeonCoreMap(nCores, nSockets int) []int {
+	m := make([]int, nCores)
+	perSocket := nCores / nSockets
+	for i := range m {
+		socket := i % nSockets
+		within := i / nSockets
+		m[i] = socket*perSocket + within
+	}
+	return m
+}
+
+// Xeon7560 returns the 4-socket, 32-core Intel Xeon 7560 of Fig. 1(a) and
+// Fig. 4: per-socket 24MB L3 shared by 8 cores, per-core 256KB L2 and 32KB
+// L1, 64B lines throughout, one DRAM link per socket.
+//
+// Note on Fig. 4: the paper's config entry lists the L3 size as 3*(1<<22) =
+// 12MB while the text and Fig. 1(a) say 24MB; §5.3's analytic model (σM3 =
+// 0.5 * 24MB = 12MB) confirms 24MB is the machine size, so that is what we
+// use here.
+func Xeon7560() *Desc {
+	return XeonVariant(8, false)
+}
+
+// Xeon7560HT returns the same machine with 2-way hyperthreading enabled:
+// 64 logical cores, two per L1 (the "4x8x2(HT)" configuration of Fig. 7 and
+// the 64-hyperthread setup of Figs. 5, 6, 8, 9).
+func Xeon7560HT() *Desc {
+	return XeonVariant(8, true)
+}
+
+// XeonVariant returns the Xeon 7560 restricted to coresPerSocket active
+// cores on each of the 4 sockets (the Fig. 7 sweep: 4x1, 4x2, 4x4, 4x8) and
+// optionally with 2-way hyperthreading.
+func XeonVariant(coresPerSocket int, ht bool) *Desc {
+	if coresPerSocket < 1 || coresPerSocket > 8 {
+		panic(fmt.Sprintf("machine: XeonVariant cores per socket %d out of [1,8]", coresPerSocket))
+	}
+	htf := 1
+	name := fmt.Sprintf("xeon7560-4x%d", coresPerSocket)
+	if ht {
+		htf = 2
+		name += "x2ht"
+	}
+	d := &Desc{
+		Name: name,
+		Levels: []Level{
+			{Name: "RAM", Size: 0, BlockSize: 64, HitCost: 0, Fanout: 4},
+			{Name: "L3", Size: 24 << 20, BlockSize: 64, HitCost: xeonL3Cost, Fanout: coresPerSocket},
+			{Name: "L2", Size: 256 << 10, BlockSize: 64, HitCost: xeonL2Cost, Fanout: 1},
+			{Name: "L1", Size: 32 << 10, BlockSize: 64, HitCost: xeonL1Cost, Fanout: htf},
+		},
+		MemLatency:    xeonMemLatency,
+		RemoteLatency: xeonRemoteLatency,
+		LineService:   xeonLineService,
+		Links:         4,
+		ClockGHz:      xeonClockGHz,
+	}
+	d.CoreMap = xeonCoreMap(d.NumCores(), 4)
+	return d
+}
+
+// Scaled returns a copy of d with every cache size divided by factor
+// (rounded down to a multiple of the block size, minimum one block per
+// way-set). Scaling the machine and the input together preserves every
+// fits-in-cache boundary, allowing paper-shaped experiments at test speed.
+func Scaled(d *Desc, factor int64) *Desc {
+	if factor < 1 {
+		panic("machine: scale factor must be >= 1")
+	}
+	out := *d
+	out.Name = fmt.Sprintf("%s-div%d", d.Name, factor)
+	out.Levels = append([]Level(nil), d.Levels...)
+	if d.CoreMap != nil {
+		out.CoreMap = append([]int(nil), d.CoreMap...)
+	}
+	for i := 1; i < len(out.Levels); i++ {
+		lv := &out.Levels[i]
+		sz := lv.Size / factor
+		sz -= sz % lv.BlockSize
+		if min := 8 * lv.BlockSize; sz < min {
+			sz = min
+		}
+		lv.Size = sz
+	}
+	return &out
+}
+
+// Flat returns a simple machine with a single cache level shared by all
+// cores: nCores cores under one cache of the given size. Useful in unit
+// tests and as the simplest PMH a scheduler must handle.
+func Flat(nCores int, cacheSize int64) *Desc {
+	return &Desc{
+		Name: fmt.Sprintf("flat-%d", nCores),
+		Levels: []Level{
+			{Name: "RAM", Size: 0, BlockSize: 64, HitCost: 0, Fanout: 1},
+			{Name: "L1", Size: cacheSize, BlockSize: 64, HitCost: 2, Fanout: nCores},
+		},
+		MemLatency:  100,
+		LineService: 15,
+		Links:       1,
+		ClockGHz:    2.0,
+	}
+}
+
+// TwoSocket returns a small 2-socket machine (nPerSocket cores per socket,
+// each socket with a shared L2 and per-core L1s) used in tests where the
+// full Xeon is needlessly large.
+func TwoSocket(nPerSocket int, l2 int64, l1 int64) *Desc {
+	return &Desc{
+		Name: fmt.Sprintf("twosocket-2x%d", nPerSocket),
+		Levels: []Level{
+			{Name: "RAM", Size: 0, BlockSize: 64, HitCost: 0, Fanout: 2},
+			{Name: "L2", Size: l2, BlockSize: 64, HitCost: 20, Fanout: nPerSocket},
+			{Name: "L1", Size: l1, BlockSize: 64, HitCost: 2, Fanout: 1},
+		},
+		MemLatency:  150,
+		LineService: 15,
+		Links:       2,
+		ClockGHz:    2.0,
+	}
+}

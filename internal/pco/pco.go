@@ -1,0 +1,118 @@
+// Package pco implements the program-centric cache-cost models the paper
+// analyzes schedulers against: the Parallel Cache-Oblivious (PCO) cache
+// complexity Q*(t; M, B) for the synthetic benchmarks (exact recursions)
+// and the asymptotic forms quoted in §5.1 for the algorithmic kernels.
+//
+// Theorem 1 bounds the level-i misses of any space-bounded schedule by
+// Q*(t; σM_i, B_i) — and by Q*(t; µσM_i, B_i) under the modified (µ)
+// boundedness rule — so these functions double as property-test oracles
+// for the SB/SB-D schedulers.
+//
+// Section 5.3's back-of-envelope model for RRM — misses ≈ r × (levels of
+// recursion until a subtask fits the cache) × bytes/B — is RRMMissModel;
+// the paper instantiates it as (160e6 × 3 × 4)/64 ≈ 30e6 for SB and ≈ 7
+// levels for WS (cache effectively split 16 ways).
+package pco
+
+import "math"
+
+// RRMQ returns the exact PCO cache complexity Q*(n; M, B) in misses for
+// the RRM benchmark on n elements with r repeats and cut ratio f: a task
+// touches 16n bytes (arrays A and B); if it fits in M, its misses are its
+// distinct lines; otherwise each of the r passes streams both arrays
+// (glue accesses) and the recursion descends both parts.
+func RRMQ(n int, r int, f float64, M, B int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	bytes := int64(n) * 16
+	if bytes <= M {
+		return ceilDiv(bytes, B)
+	}
+	cut := int(float64(n) * f)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	return int64(r)*ceilDiv(bytes, B) + RRMQ(cut, r, f, M, B) + RRMQ(n-cut, r, f, M, B)
+}
+
+// RRGQ returns Q*(n; M, B) for RRG: a task touches 24n bytes (A, B, I);
+// the unfitting case streams I and B (8n bytes each per pass) and performs
+// n random gathers from A, each a distinct-line access.
+func RRGQ(n int, r int, f float64, M, B int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	bytes := int64(n) * 24
+	if bytes <= M {
+		return ceilDiv(bytes, B)
+	}
+	cut := int(float64(n) * f)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	perPass := ceilDiv(int64(n)*16, B) + int64(n) // I+B streams, A gathers
+	return int64(r)*perPass + RRGQ(cut, r, f, M, B) + RRGQ(n-cut, r, f, M, B)
+}
+
+// RRMLevels returns the number of recursion levels an RRM task of n
+// elements unfolds before a subtask's 16n' bytes fit in cap, with cut
+// ratio f = 0.5 (§5.3: "RRM has to unfold four levels of recursion before
+// it fits in σM3 = 12MB").
+func RRMLevels(n int, cap int64) int {
+	levels := 0
+	bytes := int64(n) * 16
+	for bytes > cap {
+		bytes /= 2
+		levels++
+	}
+	return levels
+}
+
+// RRMMissModel is §5.3's analytic miss count: every unfolded level streams
+// the full 16n bytes r times. cap is the effective per-task cache space:
+// σM3 for space-bounded schedulers, M3/P for work-stealing with P cores
+// (hyperthreads) splitting the shared cache.
+func RRMMissModel(n, r int, cap, B int64) int64 {
+	return int64(r) * int64(RRMLevels(n, cap)) * ceilDiv(int64(n)*16, B)
+}
+
+// QuicksortQ returns the asymptotic PCO complexity of quicksort,
+// Q*(n; M, B) = Θ(⌈n/B⌉ log₂(n/M-elements)), with unit constant.
+func QuicksortQ(n int, M, B int64) float64 {
+	melems := float64(M) / 8
+	if float64(n) <= melems {
+		return float64(ceilDiv(int64(n)*8, B))
+	}
+	return float64(ceilDiv(int64(n)*8, B)) * math.Log2(float64(n)/melems)
+}
+
+// SamplesortQ returns the asymptotic PCO complexity of cache-oblivious
+// samplesort, Q*(n; M, B) = Θ(⌈n/B⌉ log_{2+M/B}(n/B)), with unit constant.
+func SamplesortQ(n int, M, B int64) float64 {
+	nb := float64(ceilDiv(int64(n)*8, B))
+	base := 2 + float64(M)/float64(B)
+	if nb <= 1 {
+		return 1
+	}
+	return nb * math.Log(nb) / math.Log(base)
+}
+
+// MatMulQ returns the asymptotic PCO complexity of recursive matrix
+// multiplication, Q*(n; M, B) = Θ(⌈n²/B⌉ × ⌈n/√M-elements⌉).
+func MatMulQ(n int, M, B int64) float64 {
+	melems := float64(M) / 8
+	blocks := float64(n) / math.Sqrt(melems)
+	if blocks < 1 {
+		blocks = 1
+	}
+	return float64(ceilDiv(int64(n)*int64(n)*8, B)) * blocks
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,92 @@
+package pco
+
+import (
+	"testing"
+)
+
+func TestRRMQFitsCache(t *testing.T) {
+	// 1000 elements = 16000 bytes fits 1MB: cold misses only.
+	if got := RRMQ(1000, 3, 0.5, 1<<20, 64); got != 250 {
+		t.Errorf("RRMQ fitting = %d, want 250 lines", got)
+	}
+}
+
+func TestRRMQRecursion(t *testing.T) {
+	// n=4096 (64KB), M=32KB: one unfolded level (r passes) then two
+	// fitting halves.
+	got := RRMQ(4096, 3, 0.5, 32<<10, 64)
+	want := int64(3)*1024 + 2*512
+	if got != want {
+		t.Errorf("RRMQ = %d, want %d", got, want)
+	}
+}
+
+func TestRRMQMonotoneInM(t *testing.T) {
+	prev := int64(1 << 62)
+	for _, m := range []int64{1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 24} {
+		q := RRMQ(100000, 3, 0.5, m, 64)
+		if q > prev {
+			t.Errorf("Q* increased with larger cache: %d -> %d at M=%d", prev, q, m)
+		}
+		prev = q
+	}
+}
+
+func TestRRGQDominatesRRMQ(t *testing.T) {
+	// Random gathers make RRG strictly more expensive when not fitting.
+	m := int64(32 << 10)
+	if RRGQ(4096, 3, 0.5, m, 64) <= RRMQ(4096, 3, 0.5, m, 64) {
+		t.Error("RRG Q* should exceed RRM Q*")
+	}
+}
+
+func TestRRMLevels(t *testing.T) {
+	// §5.3: 10M doubles = 160MB, σM3 = 12MB → 4 levels; M3/16 = 1.5MB → 7.
+	if got := RRMLevels(10_000_000, 12<<20); got != 4 {
+		t.Errorf("levels to σM3 = %d, want 4", got)
+	}
+	if got := RRMLevels(10_000_000, (24<<20)/16); got != 7 {
+		t.Errorf("levels to M3/16 = %d, want 7", got)
+	}
+}
+
+func TestRRMMissModelMatchesPaperArithmetic(t *testing.T) {
+	// §5.3: "space-bounded schedulers incur about (160e6 × 3 × 4)/64 =
+	// 30e6 cache misses"; the WS count ≈ 55e6 corresponds to ~7 levels.
+	sb := RRMMissModel(10_000_000, 3, 12<<20, 64)
+	if sb != 30_000_000 {
+		t.Errorf("SB model = %d, want 30e6", sb)
+	}
+	ws := RRMMissModel(10_000_000, 3, (24<<20)/16, 64)
+	if ws != 52_500_000 { // 3 × 7 × 2.5e6
+		t.Errorf("WS model = %d, want 52.5e6 (paper reports ≈55e6 measured)", ws)
+	}
+}
+
+func TestAsymptoticFormsPositiveAndOrdered(t *testing.T) {
+	M, B := int64(24<<20), int64(64)
+	n := 1_000_000
+	qs := QuicksortQ(n, M, B)
+	ss := SamplesortQ(n, M, B)
+	if qs <= 0 || ss <= 0 {
+		t.Fatal("non-positive Q*")
+	}
+	// Samplesort's large log base makes it more cache-friendly.
+	if ss >= qs {
+		t.Errorf("samplesort Q* (%g) should be below quicksort Q* (%g)", ss, qs)
+	}
+	if MatMulQ(512, M, B) <= 0 {
+		t.Error("matmul Q* non-positive")
+	}
+	// MatMul fitting entirely: just the matrix lines.
+	small := MatMulQ(16, M, B)
+	if small != float64(16*16*8/64) {
+		t.Errorf("small matmul Q* = %g", small)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	if ceilDiv(10, 3) != 4 || ceilDiv(9, 3) != 3 || ceilDiv(1, 64) != 1 {
+		t.Error("ceilDiv wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"repro/internal/job"
+)
+
+// PDF is a practical parallel-depth-first scheduler in the spirit of
+// Blelloch–Gibbons–Matias and Narlikar, the scheduler class the paper's
+// introduction describes as "suited for shared caches". All cores share
+// one central pool ordered close to the sequential depth-first execution
+// order: add pushes to the top, get pops from the top, so the executed
+// prefix tracks the DF order and constructively shares a single cache.
+//
+// PDF is not part of the paper's head-to-head comparison (no theoretical
+// bounds exist for it on multi-level PMHs) but is included as the natural
+// third baseline: it shows the centralized-queue contention that
+// hierarchy-aware schedulers must avoid — its single lock is the hotspot
+// the SB-D design eliminates for space-bounded scheduling.
+type PDF struct {
+	env   Env
+	lock  int
+	pool  []*job.Strand
+	items int
+}
+
+// NewPDF returns the centralized depth-first scheduler.
+func NewPDF() *PDF { return &PDF{} }
+
+// Name implements Scheduler.
+func (p *PDF) Name() string { return "PDF" }
+
+// Setup implements Scheduler.
+func (p *PDF) Setup(env Env) {
+	p.env = env
+	p.lock = env.NewLock()
+	p.pool = nil
+	p.items = 0
+}
+
+// Add implements Scheduler: push onto the shared DF stack.
+func (p *PDF) Add(s *job.Strand, worker int) {
+	c := p.env.Cost()
+	p.env.Charge(worker, c.CallbackBase)
+	p.env.Lock(worker, p.lock, c.LockHold)
+	p.pool = append(p.pool, s)
+	p.items++
+	p.env.Charge(worker, c.QueueOp)
+}
+
+// Get implements Scheduler: pop the top of the shared DF stack.
+func (p *PDF) Get(worker int) *job.Strand {
+	c := p.env.Cost()
+	p.env.Charge(worker, c.CallbackBase)
+	if p.items == 0 {
+		p.env.Charge(worker, peekCost)
+		return nil
+	}
+	p.env.Lock(worker, p.lock, c.LockHold)
+	if len(p.pool) == 0 {
+		return nil
+	}
+	s := p.pool[len(p.pool)-1]
+	p.pool = p.pool[:len(p.pool)-1]
+	p.items--
+	p.env.Charge(worker, c.QueueOp)
+	return s
+}
+
+// Done implements Scheduler.
+func (p *PDF) Done(s *job.Strand, worker int) {
+	p.env.Charge(worker, p.env.Cost().CallbackBase)
+}
+
+// TaskEnd implements Scheduler.
+func (p *PDF) TaskEnd(t *job.Task, worker int) {}

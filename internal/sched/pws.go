@@ -1,0 +1,53 @@
+package sched
+
+// IntraSocketBias is the steal-probability weight ratio of the PWS
+// scheduler: "on our 4 socket machines, we set the probability of an
+// intra-socket steal to be 10 times that of an inter-socket steal" (§4.2).
+const IntraSocketBias = 10
+
+// NewPWS returns the priority work-stealing scheduler of Quintin and
+// Wagner as described in §4.2: identical to WS except that steal victims
+// closer in the cache hierarchy are chosen with higher probability —
+// dequeues on the same socket get IntraSocketBias times the weight of
+// dequeues on remote sockets.
+func NewPWS() *WS {
+	return &WS{name: "PWS", costScale: 1, victim: socketBiasedVictim}
+}
+
+// socketBiasedVictim draws a victim with intra-socket workers weighted
+// IntraSocketBias:1 against inter-socket workers.
+func socketBiasedVictim(w *WS, worker int) int {
+	m := w.env.Machine()
+	mySocket := m.SocketOf(m.LeafOf(worker))
+	// Count intra-socket candidates (excluding self).
+	intra := 0
+	for v := 0; v < w.n; v++ {
+		if v != worker && m.SocketOf(m.LeafOf(v)) == mySocket {
+			intra++
+		}
+	}
+	inter := w.n - 1 - intra
+	total := intra*IntraSocketBias + inter
+	if total == 0 {
+		return worker // single-core machine; caller's queue is empty anyway
+	}
+	r := w.env.RNG(worker).Intn(total)
+	// Walk the workers, spending IntraSocketBias tickets on intra-socket
+	// candidates and 1 on the rest; n is small (≤64) so a linear pass is
+	// cheap and keeps the draw exactly weighted.
+	for v := 0; v < w.n; v++ {
+		if v == worker {
+			continue
+		}
+		if m.SocketOf(m.LeafOf(v)) == mySocket {
+			r -= IntraSocketBias
+		} else {
+			r--
+		}
+		if r < 0 {
+			return v
+		}
+	}
+	// Unreachable: tickets sum to total.
+	return (worker + 1) % w.n
+}

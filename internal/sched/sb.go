@@ -1,0 +1,469 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// Default dilation and strand-occupancy parameters: "We use σ = 0.5 and
+// µ = 0.2 in the SB and SB-D schedulers" (§5.3).
+const (
+	DefaultSigma = 0.5
+	DefaultMu    = 0.2
+)
+
+// SB is the space-bounded scheduler of §4.1–4.2. It mirrors the machine's
+// tree of caches: each cache has a logical queue (split into per-level
+// "buckets"), an occupancy counter tracking the anchored space, and a lock.
+//
+// Scheduling follows the paper's two properties:
+//
+//   - Anchored: every task is anchored to a befitting cache — the smallest
+//     cache X with S(t;B) ≤ σM(X) — and all of its strands execute on cores
+//     below X.
+//   - Bounded: at any time, the sizes of the cache-occupying tasks of X
+//     (maximal tasks anchored at X, plus skip-level tasks anchored below X
+//     whose parents are anchored above X) plus the strand occupancies
+//     min(µM(X), S(ℓ;B)) of strands running below X with tasks anchored
+//     above X, never exceed M(X).
+//
+// Anchoring decisions happen lazily at Get time: an unanchored maximal task
+// sits in a bucket of its parent's anchor cache, and the first core (under
+// that cache) with room on its own cache path anchors it there. Tasks that
+// are non-maximal — befitting the same cache their parent is anchored to —
+// are anchored immediately at Add, occupying no extra space (their
+// footprint is contained in the parent's, loc(t') ⊆ loc(t)).
+//
+// Liveness note (a "practical variant" in the paper's sense): continuation
+// strands and already-anchored tasks are always dispatched; their strand
+// occupancy is charged (clipped by µM) but never blocks execution. Only the
+// anchoring of new maximal tasks is gated by the boundedness check, which
+// is what prevents cache overflow from task working sets.
+type SB struct {
+	name string
+	// Sigma is the dilation parameter σ ∈ (0,1].
+	Sigma float64
+	// Mu is the strand-occupancy cap parameter µ ∈ (0,1].
+	Mu float64
+	// distributed selects the SB-D variant: the top bucket of every cache
+	// is replaced by one queue per child cluster to remove the queueing
+	// hotspot (§4.2).
+	distributed bool
+
+	env      Env
+	maxLevel int // innermost cache level index
+	block    int64
+	nodes    [][]*sbNode // [level][id]; level 0 is the root (memory)
+
+	// Anchors counts anchoring operations per level, for diagnostics.
+	Anchors []int64
+	// BoundRejects counts anchoring attempts rejected by the boundedness
+	// check, for diagnostics.
+	BoundRejects int64
+}
+
+// sbNode is the scheduler's view of one cache (or of the root memory).
+type sbNode struct {
+	level, id int
+	lock      int
+	cap       int64 // M(X); root has no bound (cap < 0)
+	occ       int64 // anchored task bytes + strand occupancy bytes
+	// items counts queued strands across all buckets (and distributed top
+	// queues), maintained so idle cores can skip empty nodes with a cheap
+	// unlocked peek instead of convoying on the node lock.
+	items int
+
+	// buckets[j] holds work that must run inside this cluster and befits
+	// machine level level+j: buckets[0] (the "top bucket", heaviest tasks)
+	// holds strands of tasks anchored here; deeper buckets hold unanchored
+	// maximal tasks awaiting an anchor further down.
+	buckets [][]*job.Strand
+
+	// Distributed top bucket (SB-D only): one queue and lock per child
+	// cluster, used in place of buckets[0].
+	topQ    [][]*job.Strand
+	topLock []int
+}
+
+// sbTaskState tracks the occupancy charged for an anchored task, released
+// at TaskEnd.
+type sbTaskState struct {
+	charges []sbCharge
+}
+
+// sbStrandState tracks the strand occupancy charged while a strand runs,
+// released at Done.
+type sbStrandState struct {
+	charges []sbCharge
+}
+
+type sbCharge struct {
+	level, id int
+	amt       int64
+}
+
+// NewSB returns the SB scheduler with the given σ and µ.
+func NewSB(sigma, mu float64) *SB {
+	validateSBParams(sigma, mu)
+	return &SB{name: "SB", Sigma: sigma, Mu: mu}
+}
+
+// NewSBD returns the SB-D scheduler (distributed top buckets).
+func NewSBD(sigma, mu float64) *SB {
+	validateSBParams(sigma, mu)
+	return &SB{name: "SB-D", Sigma: sigma, Mu: mu, distributed: true}
+}
+
+func validateSBParams(sigma, mu float64) {
+	if sigma <= 0 || sigma > 1 {
+		panic(fmt.Sprintf("sched: σ = %v outside (0,1]", sigma))
+	}
+	if mu <= 0 || mu > 1 {
+		panic(fmt.Sprintf("sched: µ = %v outside (0,1]", mu))
+	}
+}
+
+// Name implements Scheduler.
+func (b *SB) Name() string { return b.name }
+
+// Setup implements Scheduler.
+func (b *SB) Setup(env Env) {
+	b.env = env
+	m := env.Machine()
+	b.maxLevel = m.CacheLevels()
+	b.block = m.Block()
+	b.nodes = make([][]*sbNode, b.maxLevel+1)
+	b.Anchors = make([]int64, b.maxLevel+1)
+	b.BoundRejects = 0
+	for lvl := 0; lvl <= b.maxLevel; lvl++ {
+		n := m.NodesAt(lvl)
+		b.nodes[lvl] = make([]*sbNode, n)
+		for id := 0; id < n; id++ {
+			nd := &sbNode{
+				level:   lvl,
+				id:      id,
+				lock:    env.NewLock(),
+				cap:     -1,
+				buckets: make([][]*job.Strand, b.maxLevel-lvl+1),
+			}
+			if lvl > 0 {
+				nd.cap = m.Levels[lvl].Size
+			}
+			if b.distributed {
+				fan := m.Levels[lvl].Fanout
+				nd.topQ = make([][]*job.Strand, fan)
+				nd.topLock = make([]int, fan)
+				for c := 0; c < fan; c++ {
+					nd.topLock[c] = env.NewLock()
+				}
+			}
+			b.nodes[lvl][id] = nd
+		}
+	}
+}
+
+// sigmaM returns σM for a cache level.
+func (b *SB) sigmaM(level int) int64 {
+	return int64(b.Sigma * float64(b.env.Machine().Levels[level].Size))
+}
+
+// befit returns the befitting level for a task of the given size: the
+// deepest (smallest) cache level j with S ≤ σM_j, or 0 (the root) when the
+// task exceeds σ times the outermost cache. Unannotated sizes (< 0) return
+// -1, meaning "inherit the parent's anchor".
+func (b *SB) befit(size int64) int {
+	if size < 0 {
+		return -1
+	}
+	for lvl := b.maxLevel; lvl >= 1; lvl-- {
+		if size <= b.sigmaM(lvl) {
+			return lvl
+		}
+	}
+	return 0
+}
+
+// peekCost is the cost of the unlocked emptiness check on one cache node
+// (a single shared-counter load).
+const peekCost = 2
+
+func (b *SB) base(worker int)     { b.env.Charge(worker, b.env.Cost().CallbackBase) }
+func (b *SB) op(worker int)       { b.env.Charge(worker, b.env.Cost().QueueOp) }
+func (b *SB) lock(worker, id int) { b.env.Lock(worker, id, b.env.Cost().LockHold) }
+func (b *SB) nodeOf(level, leaf int) *sbNode {
+	return b.nodes[level][b.env.Machine().NodeOf(level, leaf)]
+}
+
+// anchorOf returns the (level, id) anchor of t, treating the unanchored
+// root task as anchored at the root memory node.
+func anchorOf(t *job.Task) (int, int) {
+	if t == nil || t.AnchorLevel < 0 {
+		return 0, 0
+	}
+	return t.AnchorLevel, t.AnchorNode
+}
+
+// childIndex returns which child cluster of node nd the given leaf is in.
+func (b *SB) childIndex(nd *sbNode, leaf int) int {
+	m := b.env.Machine()
+	cover := m.CoresPerNode(nd.level)
+	fan := m.Levels[nd.level].Fanout
+	sub := cover / fan
+	return (leaf - nd.id*cover) / sub
+}
+
+// pushTop enqueues a strand on nd's top bucket on behalf of worker.
+// Caller must hold nd.lock in the non-distributed case; in the distributed
+// case pushTop takes the appropriate child-queue lock itself.
+func (b *SB) pushTop(nd *sbNode, s *job.Strand, worker int) {
+	if b.distributed {
+		c := b.childIndex(nd, b.env.Machine().LeafOf(worker))
+		b.lock(worker, nd.topLock[c])
+		nd.topQ[c] = append(nd.topQ[c], s)
+	} else {
+		nd.buckets[0] = append(nd.buckets[0], s)
+	}
+	nd.items++
+	b.op(worker)
+}
+
+// Add implements Scheduler (§4.2): "When a new Job is spawned at a fork,
+// the add call-back enqueues it at the cluster where its parent was
+// anchored. For a new Job spawned at a join, add enqueues it at the cluster
+// where the Job that called the corresponding fork was anchored."
+func (b *SB) Add(s *job.Strand, worker int) {
+	b.base(worker)
+	t := s.Task
+	if s.Kind == job.Continuation {
+		// Later strand of t: runs inside t's own anchor cluster.
+		lvl, id := anchorOf(t)
+		nd := b.nodes[lvl][id]
+		if b.distributed {
+			b.pushTop(nd, s, worker)
+			return
+		}
+		b.lock(worker, nd.lock)
+		b.pushTop(nd, s, worker)
+		return
+	}
+	// First strand of a new task: classify against the parent's anchor.
+	paLvl, paID := anchorOf(t.Parent)
+	j := b.befit(t.SizeBytes)
+	if j >= 0 && j < paLvl {
+		// A child can never befit a larger cache than its parent occupies
+		// (loc(t) ⊆ loc(parent)); clamp defensively for inconsistent
+		// annotations.
+		j = paLvl
+	}
+	parent := b.nodes[paLvl][paID]
+	if j < 0 || j == paLvl {
+		// Non-maximal (or unannotated): anchored to the parent's cache,
+		// occupying no additional space.
+		t.AnchorLevel, t.AnchorNode = paLvl, paID
+		if b.distributed {
+			b.pushTop(parent, s, worker)
+			return
+		}
+		b.lock(worker, parent.lock)
+		b.pushTop(parent, s, worker)
+		return
+	}
+	// Maximal task befitting a deeper level: queue unanchored in the
+	// parent-anchor cache's bucket for level j; it will be anchored at Get
+	// time by a core whose level-j cache has room.
+	b.lock(worker, parent.lock)
+	parent.buckets[j-paLvl] = append(parent.buckets[j-paLvl], s)
+	parent.items++
+	b.op(worker)
+}
+
+// tryAnchor attempts to anchor task t (of strand s, befitting level j) to
+// the caches on leaf's path, charging occupancy at levels (paLvl, j] — the
+// befitting cache plus the skip-level caches between it and the parent's
+// anchor. Caller holds the lock of the node at paLvl. Returns false and
+// leaves occupancy untouched if any level would exceed its capacity.
+func (b *SB) tryAnchor(t *job.Task, paLvl, j, leaf, worker int) bool {
+	size := t.SizeBytes
+	// Check all levels first (locking each; the paLvl node is already
+	// locked by the caller). §4.1: skip-level tasks occupy the caches
+	// between their anchor and their parent's only on inclusive
+	// hierarchies; on non-inclusive machines only the befitting cache (a
+	// type-(a) occupier) is charged.
+	from := paLvl + 1
+	if b.env.Machine().NonInclusive {
+		from = j
+	}
+	targets := make([]*sbNode, 0, j-from+1)
+	for lvl := from; lvl <= j; lvl++ {
+		nd := b.nodeOf(lvl, leaf)
+		b.lock(worker, nd.lock)
+		if nd.cap >= 0 && nd.occ+size > nd.cap {
+			b.BoundRejects++
+			return false
+		}
+		targets = append(targets, nd)
+	}
+	st := &sbTaskState{}
+	for _, nd := range targets {
+		nd.occ += size
+		st.charges = append(st.charges, sbCharge{nd.level, nd.id, size})
+	}
+	t.AnchorLevel = j
+	t.AnchorNode = b.env.Machine().NodeOf(j, leaf)
+	t.Sched = st
+	b.Anchors[j]++
+	return true
+}
+
+// chargeStrand applies the strand occupancy min(µM, S(ℓ)) at every cache
+// on leaf's path strictly below the strand's task anchor, recording the
+// charges for release at Done.
+func (b *SB) chargeStrand(s *job.Strand, leaf int) {
+	lvl, _ := anchorOf(s.Task)
+	size := s.SizeBytes
+	if size < 0 {
+		size = 0
+	}
+	var st *sbStrandState
+	for k := lvl + 1; k <= b.maxLevel; k++ {
+		nd := b.nodeOf(k, leaf)
+		amt := int64(b.Mu * float64(b.env.Machine().Levels[k].Size))
+		if size < amt {
+			amt = size
+		}
+		if amt <= 0 {
+			continue
+		}
+		nd.occ += amt
+		if st == nil {
+			st = &sbStrandState{}
+		}
+		st.charges = append(st.charges, sbCharge{k, nd.id, amt})
+	}
+	if st != nil {
+		s.Sched = st
+	}
+}
+
+// takeFromBucket scans one bucket of nd for a dispatchable strand: strands
+// of anchored tasks are always dispatchable; unanchored maximal tasks are
+// dispatchable when they can be anchored on this worker's path.
+func (b *SB) takeFromBucket(nd *sbNode, bucketIdx, leaf, worker int) *job.Strand {
+	bucket := nd.buckets[bucketIdx]
+	for i, s := range bucket {
+		b.op(worker)
+		if s.Task.AnchorLevel < 0 {
+			j := nd.level + bucketIdx
+			if !b.tryAnchor(s.Task, nd.level, j, leaf, worker) {
+				continue
+			}
+		}
+		nd.buckets[bucketIdx] = append(bucket[:i:i], bucket[i+1:]...)
+		nd.items--
+		return s
+	}
+	return nil
+}
+
+// Get implements Scheduler: walk the caches on the core's path from the
+// innermost to the root; at each cache, scan buckets from the heaviest
+// (tasks anchored here) to the lightest, anchoring unanchored maximal
+// tasks on the way when the boundedness check allows.
+func (b *SB) Get(worker int) *job.Strand {
+	b.base(worker)
+	leaf := b.env.Machine().LeafOf(worker)
+	for lvl := b.maxLevel; lvl >= 0; lvl-- {
+		nd := b.nodeOf(lvl, leaf)
+		// Unlocked emptiness peek: idle cores must not convoy on the
+		// locks of empty shared queues (the root queue in particular).
+		if nd.items == 0 {
+			b.env.Charge(worker, peekCost)
+			continue
+		}
+		if s := b.getAt(nd, leaf, worker); s != nil {
+			b.chargeStrand(s, leaf)
+			return s
+		}
+	}
+	return nil
+}
+
+// getAt scans one cache's queue for work on behalf of worker.
+func (b *SB) getAt(nd *sbNode, leaf, worker int) *job.Strand {
+	if b.distributed {
+		// Top bucket: own child queue first, then one random sibling —
+		// the same one-probe steal discipline as the WS scheduler.
+		own := b.childIndex(nd, leaf)
+		b.lock(worker, nd.topLock[own])
+		if q := nd.topQ[own]; len(q) > 0 {
+			s := q[len(q)-1]
+			nd.topQ[own] = q[:len(q)-1]
+			nd.items--
+			b.op(worker)
+			return s
+		}
+		if fan := len(nd.topQ); fan > 1 {
+			v := b.env.RNG(worker).Intn(fan - 1)
+			if v >= own {
+				v++
+			}
+			b.lock(worker, nd.topLock[v])
+			if q := nd.topQ[v]; len(q) > 0 {
+				s := q[0]
+				nd.topQ[v] = q[1:]
+				nd.items--
+				b.op(worker)
+				return s
+			}
+		}
+		// Deeper buckets under the node lock.
+		b.lock(worker, nd.lock)
+		for idx := 1; idx < len(nd.buckets); idx++ {
+			if s := b.takeFromBucket(nd, idx, leaf, worker); s != nil {
+				return s
+			}
+		}
+		return nil
+	}
+	b.lock(worker, nd.lock)
+	for idx := 0; idx < len(nd.buckets); idx++ {
+		if s := b.takeFromBucket(nd, idx, leaf, worker); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// Done implements Scheduler: release the strand occupancy charged at Get.
+func (b *SB) Done(s *job.Strand, worker int) {
+	b.base(worker)
+	st, _ := s.Sched.(*sbStrandState)
+	if st == nil {
+		return
+	}
+	for _, c := range st.charges {
+		nd := b.nodes[c.level][c.id]
+		b.lock(worker, nd.lock)
+		nd.occ -= c.amt
+	}
+	s.Sched = nil
+}
+
+// TaskEnd implements Scheduler: release the anchored space of t.
+func (b *SB) TaskEnd(t *job.Task, worker int) {
+	st, _ := t.Sched.(*sbTaskState)
+	if st == nil {
+		return
+	}
+	for _, c := range st.charges {
+		nd := b.nodes[c.level][c.id]
+		b.lock(worker, nd.lock)
+		nd.occ -= c.amt
+	}
+	t.Sched = nil
+}
+
+// Occupancy returns the current occupancy of the cache at (level, id), for
+// tests and diagnostics.
+func (b *SB) Occupancy(level, id int) int64 { return b.nodes[level][id].occ }

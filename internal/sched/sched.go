@@ -1,0 +1,124 @@
+// Package sched defines the paper's scheduler interface (§3.1) and
+// implements the four schedulers compared in the experimental study (§4.2):
+// work-stealing (WS), priority work-stealing (PWS), and two space-bounded
+// variants (SB and SB-D), plus the CilkPlus-profile validation scheduler.
+//
+// A scheduler is a module that manages queued and live strands through
+// three call-backs invoked by the runtime on behalf of a core:
+//
+//	Add  — a fork spawned a new task (once per child), or a join released
+//	       the continuation of an enclosing task;
+//	Get  — the core is idle and wants a strand to execute;
+//	Done — the core finished executing a strand.
+//
+// plus TaskEnd, which reports that a task and all of its descendants have
+// completed — the hook space-bounded schedulers use to release anchored
+// cache space. (The paper folds this into done's deactivate flag; a
+// separate method keeps each implementation clearer.)
+//
+// Schedulers run inside the simulator and account for their own costs
+// through the Env: acquiring a simulated lock serializes in simulated time
+// (capturing queue contention and hotspots), and Charge adds bookkeeping
+// cycles attributed to the current call-back, reproducing the paper's
+// five-way time breakdown (§3.3).
+package sched
+
+import (
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/xrand"
+)
+
+// CostModel fixes the simulated cost of scheduler bookkeeping and runtime
+// behaviour, in core cycles. The experiments depend on the relative
+// magnitudes (space-bounded schedulers do more bookkeeping per call-back
+// than work stealing), not on exact values.
+type CostModel struct {
+	// CallbackBase is charged on entry to every Add/Get/Done call-back.
+	CallbackBase int64
+	// LockHold is how long a queue lock is held per critical section; a
+	// second core hitting the same lock waits for the remaining hold time.
+	LockHold int64
+	// QueueOp is charged per push/pop/scan step on a scheduler queue.
+	QueueOp int64
+	// IdleBackoff is how long a core waits after Get returns nothing
+	// before asking again; the wait is accounted as empty-queue overhead.
+	IdleBackoff int64
+	// ChunkCycles bounds how long a core runs between simulator
+	// interleaving points (the access-interleaving granularity of the
+	// shared-cache simulation).
+	ChunkCycles int64
+}
+
+// DefaultCosts returns the cost model used by all experiments.
+func DefaultCosts() CostModel {
+	return CostModel{
+		CallbackBase: 40,
+		LockHold:     25,
+		QueueOp:      10,
+		IdleBackoff:  150,
+		ChunkCycles:  4096,
+	}
+}
+
+// Env is the simulator-provided environment a scheduler runs against.
+type Env interface {
+	// Machine returns the PMH description being simulated.
+	Machine() *machine.Desc
+	// Cost returns the active cost model.
+	Cost() CostModel
+	// NewLock allocates a simulated lock and returns its id.
+	NewLock() int
+	// Lock simulates worker acquiring lock id, holding it for hold cycles:
+	// the worker's clock advances past any current holder, then by hold.
+	// The time is attributed to the call-back being executed.
+	Lock(worker, id int, hold int64)
+	// Charge advances worker's clock by cycles of scheduler bookkeeping,
+	// attributed to the call-back being executed.
+	Charge(worker int, cycles int64)
+	// RNG returns worker's deterministic random source.
+	RNG(worker int) *xrand.Source
+}
+
+// Scheduler is the paper's scheduler module interface.
+type Scheduler interface {
+	// Name identifies the scheduler in reports ("WS", "PWS", "SB", ...).
+	Name() string
+	// Setup binds the scheduler to an environment before a run. It is
+	// called exactly once per run, and must reset all internal state.
+	Setup(env Env)
+	// Add enqueues a newly spawned strand on behalf of worker.
+	Add(s *job.Strand, worker int)
+	// Get returns a strand for worker to execute, or nil if it found none.
+	Get(worker int) *job.Strand
+	// Done reports that worker finished executing s.
+	Done(s *job.Strand, worker int)
+	// TaskEnd reports that task t has fully completed (its last strand and
+	// all descendant tasks are done), on behalf of worker.
+	TaskEnd(t *job.Task, worker int)
+}
+
+// New constructs a scheduler by name: "ws", "pws", "cilk", "sb", "sbd".
+// Space-bounded variants take the default σ=0.5, µ=0.2 of the paper (§5.3).
+// It returns nil for an unknown name.
+func New(name string) Scheduler {
+	switch name {
+	case "ws", "WS":
+		return NewWS()
+	case "pws", "PWS":
+		return NewPWS()
+	case "cilk", "CILK", "CilkPlus":
+		return NewCilk()
+	case "sb", "SB":
+		return NewSB(DefaultSigma, DefaultMu)
+	case "sbd", "SBD", "SB-D":
+		return NewSBD(DefaultSigma, DefaultMu)
+	case "pdf", "PDF":
+		return NewPDF()
+	}
+	return nil
+}
+
+// Names lists the constructible scheduler names: the paper's lineup in its
+// order, plus the PDF shared-cache baseline.
+func Names() []string { return []string{"cilk", "ws", "pws", "sb", "sbd", "pdf"} }

@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+	"repro/internal/machine"
+)
+
+func TestWSSingleCoreGetDoesNotPanic(t *testing.T) {
+	ws := NewWS()
+	ws.Setup(newFakeEnv(machine.Flat(1, 1<<12)))
+	if s := ws.Get(0); s != nil {
+		t.Fatal("empty single-core system returned a strand")
+	}
+}
+
+func TestPWSSingleCoreGetDoesNotPanic(t *testing.T) {
+	pws := NewPWS()
+	pws.Setup(newFakeEnv(machine.Flat(1, 1<<12)))
+	if s := pws.Get(0); s != nil {
+		t.Fatal("empty single-core system returned a strand")
+	}
+}
+
+func TestSBOnFlatMachine(t *testing.T) {
+	// A single-cache-level machine is the minimal PMH; SB must anchor and
+	// schedule there.
+	m := machine.Flat(4, 1<<16)
+	sb := NewSB(0.5, 0.2)
+	sb.Setup(newFakeEnv(m))
+	s := mkStrand(1, 1<<12, nil, job.TaskStart) // 4KB befits σ·64KB
+	sb.Add(s, 0)
+	got := sb.Get(2)
+	if got != s {
+		t.Fatal("flat-machine task not scheduled")
+	}
+	if s.Task.AnchorLevel != 1 {
+		t.Errorf("anchor level = %d, want 1", s.Task.AnchorLevel)
+	}
+	sb.Done(s, 2)
+	sb.TaskEnd(s.Task, 2)
+	if sb.Occupancy(1, 0) != 0 {
+		t.Error("occupancy leak on flat machine")
+	}
+}
+
+func TestSBDChildIndexHT(t *testing.T) {
+	// On the hyperthreaded Xeon the innermost caches have two leaves each;
+	// childIndex must place both hyperthreads of an L1 on the right queue.
+	m := machine.Xeon7560HT()
+	sbd := NewSBD(0.5, 0.2)
+	env := newFakeEnv(m)
+	sbd.Setup(env)
+	root := sbd.nodes[3][0] // first L1, two hyperthreads
+	if got := sbd.childIndex(root, 0); got != 0 {
+		t.Errorf("leaf 0 child index = %d", got)
+	}
+	if got := sbd.childIndex(root, 1); got != 1 {
+		t.Errorf("leaf 1 child index = %d", got)
+	}
+	// Socket-level node: 16 leaves over fanout 8 → two leaves per child.
+	sock := sbd.nodes[1][0]
+	if got := sbd.childIndex(sock, 0); got != 0 {
+		t.Errorf("socket child of leaf 0 = %d", got)
+	}
+	if got := sbd.childIndex(sock, 15); got != 7 {
+		t.Errorf("socket child of leaf 15 = %d", got)
+	}
+}
+
+func TestSBOccupancyNeverNegativeProperty(t *testing.T) {
+	// Random add/get/done/taskend interleavings must never drive any
+	// cache's occupancy negative or leak it positive at quiescence.
+	f := func(seed uint64) bool {
+		m := machine.TwoSocket(2, 256<<10, 4<<10)
+		env := newFakeEnv(m)
+		sb := NewSB(0.5, 0.2)
+		sb.Setup(env)
+		rng := env.rngs[0]
+		type live struct{ s *job.Strand }
+		var running []live
+		for step := uint64(0); step < 200; step++ {
+			if rng.Intn(2) == 0 {
+				s := mkStrand(step+1, int64(64+rng.Intn(200<<10)), nil, job.TaskStart)
+				sb.Add(s, rng.Intn(4))
+			} else {
+				w := rng.Intn(4)
+				if s := sb.Get(w); s != nil {
+					running = append(running, live{s})
+				}
+			}
+			// Randomly retire a running strand (its whole task).
+			if len(running) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(running))
+				w := rng.Intn(4)
+				sb.Done(running[i].s, w)
+				sb.TaskEnd(running[i].s.Task, w)
+				running = append(running[:i], running[i+1:]...)
+			}
+			for lvl := 1; lvl <= 2; lvl++ {
+				for id := 0; id < m.NodesAt(lvl); id++ {
+					if sb.Occupancy(lvl, id) < 0 {
+						return false
+					}
+				}
+			}
+		}
+		// Retire everything still running and drain the queues.
+		for _, l := range running {
+			sb.Done(l.s, 0)
+			sb.TaskEnd(l.s.Task, 0)
+		}
+		for {
+			s := sb.Get(0)
+			if s == nil {
+				s = sb.Get(2) // other socket
+			}
+			if s == nil {
+				break
+			}
+			sb.Done(s, 0)
+			sb.TaskEnd(s.Task, 0)
+		}
+		for lvl := 1; lvl <= 2; lvl++ {
+			for id := 0; id < m.NodesAt(lvl); id++ {
+				if sb.Occupancy(lvl, id) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSBBoundedInvariantUnderLoad(t *testing.T) {
+	// Under arbitrary task sizes the anchored-task occupancy at any cache
+	// must never exceed its capacity (the bounded property, scheduler-side
+	// view: occupancy includes µ-capped strand terms so cap may only be
+	// exceeded by at most those bounded terms; task anchoring itself is
+	// rejected beyond cap).
+	m := machine.TwoSocket(2, 256<<10, 4<<10)
+	env := newFakeEnv(m)
+	sb := NewSB(0.5, 0.2)
+	sb.Setup(env)
+	rng := env.rngs[1]
+	for step := uint64(0); step < 500; step++ {
+		s := mkStrand(step+1, int64(64+rng.Intn(120<<10)), nil, job.TaskStart)
+		sb.Add(s, rng.Intn(4))
+		sb.Get(rng.Intn(4))
+		for id := 0; id < 2; id++ {
+			occ := sb.Occupancy(1, id)
+			// Allowance: anchored tasks ≤ cap enforced strictly; strand
+			// terms add at most 4 workers × µM each.
+			slack := int64(4.0 * sb.Mu * float64(m.Levels[1].Size))
+			if occ > m.Levels[1].Size+slack {
+				t.Fatalf("step %d: L2-%d occupancy %d far above cap %d", step, id, occ, m.Levels[1].Size)
+			}
+		}
+	}
+}
+
+func TestPDFLIFOOrder(t *testing.T) {
+	pdf := NewPDF()
+	pdf.Setup(newFakeEnv(machine.Flat(4, 1<<16)))
+	a := mkStrand(1, 64, nil, job.TaskStart)
+	b := mkStrand(2, 64, nil, job.TaskStart)
+	pdf.Add(a, 0)
+	pdf.Add(b, 1)
+	// Depth-first: the most recently spawned strand runs first, on any core.
+	if got := pdf.Get(3); got != b {
+		t.Fatalf("Get = %v, want most recent strand", got.ID)
+	}
+	if got := pdf.Get(2); got != a {
+		t.Fatalf("Get = %v, want earlier strand", got.ID)
+	}
+	if pdf.Get(0) != nil {
+		t.Fatal("empty pool returned a strand")
+	}
+}
+
+func TestPDFSharedPoolContention(t *testing.T) {
+	// Every operation serializes on the single lock: two adds at the same
+	// time cost more than one.
+	m := machine.Flat(8, 1<<16)
+	env := newFakeEnv(m)
+	pdf := NewPDF()
+	pdf.Setup(env)
+	pdf.Add(mkStrand(1, 64, nil, job.TaskStart), 0)
+	pdf.Add(mkStrand(2, 64, nil, job.TaskStart), 1)
+	if env.clocks[1] <= env.clocks[0] {
+		t.Errorf("second add (%d) did not queue behind first (%d)", env.clocks[1], env.clocks[0])
+	}
+}
+
+func TestSBNonInclusiveSkipLevelAccounting(t *testing.T) {
+	// On a non-inclusive hierarchy a skip-level task occupies only its
+	// befitting cache (§4.1's type-(a)-only rule), not the caches between
+	// it and the parent's anchor.
+	m := machine.TwoSocket(2, 256<<10, 4<<10)
+	m.NonInclusive = true
+	env := newFakeEnv(m)
+	sb := NewSB(0.5, 0.2)
+	sb.Setup(env)
+	s := mkStrand(1, 1<<10, nil, job.TaskStart) // befits L1 under a root parent
+	sb.Add(s, 0)
+	if got := sb.Get(0); got != s {
+		t.Fatal("task not scheduled")
+	}
+	if s.Task.AnchorLevel != 2 {
+		t.Fatalf("anchor level = %d, want 2", s.Task.AnchorLevel)
+	}
+	if occ := sb.Occupancy(2, 0); occ < 1<<10 {
+		t.Errorf("anchor cache occupancy = %d, want >= 1KB", occ)
+	}
+	// No skip-level charge at the intermediate L2 beyond the strand term.
+	maxStrand := int64(0.2 * float64(m.Levels[1].Size))
+	if occ := sb.Occupancy(1, 0); occ > maxStrand {
+		t.Errorf("non-inclusive intermediate occupancy = %d (> strand cap %d)", occ, maxStrand)
+	}
+}

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"repro/internal/job"
+)
+
+// WS is the basic work-stealing scheduler of §4.2 and Appendix A, modeled
+// on Cilk++: one double-ended queue per core; add pushes to the bottom of
+// the local dequeue; get pops from the bottom, or — when the local dequeue
+// is empty — picks a victim and steals one strand from the top of the
+// victim's dequeue.
+//
+// Each dequeue has two simulated locks, exactly as in the paper's
+// implementation: a local lock guarding the dequeue, and a steal lock that
+// remote cores must take before the local lock, so that thieves contend
+// with each other rather than with the owner in the common case.
+type WS struct {
+	name string
+	// costScale scales the bookkeeping constants: the CilkPlus validation
+	// profile uses a lower value, modeling the leaner call-backs of a
+	// mature commercial runtime (the framework-validation comparison).
+	costScale float64
+	// victim picks a steal victim for worker (never worker itself).
+	victim func(w *WS, worker int) int
+
+	env    Env
+	n      int
+	queues [][]*job.Strand
+	local  []int // local lock ids
+	steal  []int // steal lock ids
+
+	// Steals counts successful steals per worker, for diagnostics.
+	Steals []int64
+}
+
+// NewWS returns the paper's WS scheduler.
+func NewWS() *WS {
+	return &WS{name: "WS", costScale: 1, victim: uniformVictim}
+}
+
+// NewCilk returns the WS policy with the CilkPlus cost profile, used to
+// validate the framework against the commercial scheduler as in §5.
+func NewCilk() *WS {
+	return &WS{name: "CilkPlus", costScale: 0.5, victim: uniformVictim}
+}
+
+// uniformVictim chooses uniformly among all other workers (Appendix A's
+// steal_choice). On a single-core machine the worker is its own (always
+// empty) victim.
+func uniformVictim(w *WS, worker int) int {
+	if w.n < 2 {
+		return worker
+	}
+	v := w.env.RNG(worker).Intn(w.n - 1)
+	if v >= worker {
+		v++
+	}
+	return v
+}
+
+// Name implements Scheduler.
+func (w *WS) Name() string { return w.name }
+
+// Setup implements Scheduler.
+func (w *WS) Setup(env Env) {
+	w.env = env
+	w.n = env.Machine().NumCores()
+	w.queues = make([][]*job.Strand, w.n)
+	w.local = make([]int, w.n)
+	w.steal = make([]int, w.n)
+	w.Steals = make([]int64, w.n)
+	for i := 0; i < w.n; i++ {
+		w.local[i] = env.NewLock()
+		w.steal[i] = env.NewLock()
+	}
+}
+
+func (w *WS) scale(c int64) int64 {
+	return int64(float64(c)*w.costScale + 0.5)
+}
+
+func (w *WS) base(worker int) {
+	w.env.Charge(worker, w.scale(w.env.Cost().CallbackBase))
+}
+
+func (w *WS) lock(worker, id int) {
+	w.env.Lock(worker, id, w.scale(w.env.Cost().LockHold))
+}
+
+func (w *WS) op(worker int) {
+	w.env.Charge(worker, w.scale(w.env.Cost().QueueOp))
+}
+
+// Add implements Scheduler: push onto the bottom of the local dequeue.
+func (w *WS) Add(s *job.Strand, worker int) {
+	w.base(worker)
+	w.lock(worker, w.local[worker])
+	w.queues[worker] = append(w.queues[worker], s)
+	w.op(worker)
+}
+
+// Get implements Scheduler: pop the bottom of the local dequeue, else
+// attempt one steal from the top of a random victim's dequeue.
+func (w *WS) Get(worker int) *job.Strand {
+	w.base(worker)
+	w.lock(worker, w.local[worker])
+	if q := w.queues[worker]; len(q) > 0 {
+		s := q[len(q)-1]
+		w.queues[worker] = q[:len(q)-1]
+		w.op(worker)
+		return s
+	}
+	choice := w.victim(w, worker)
+	w.lock(worker, w.steal[choice])
+	w.lock(worker, w.local[choice])
+	if q := w.queues[choice]; len(q) > 0 {
+		s := q[0]
+		w.queues[choice] = q[1:]
+		w.Steals[worker]++
+		w.op(worker)
+		return s
+	}
+	return nil
+}
+
+// Done implements Scheduler: work stealing keeps no per-strand state.
+func (w *WS) Done(s *job.Strand, worker int) {
+	w.base(worker)
+}
+
+// TaskEnd implements Scheduler: no anchored space to release.
+func (w *WS) TaskEnd(t *job.Task, worker int) {}
+
+// TotalSteals returns the number of successful steals across all workers.
+func (w *WS) TotalSteals() int64 {
+	var total int64
+	for _, s := range w.Steals {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// BenchmarkEngineParallelFor measures whole-engine throughput: a parallel
+// map of 64K elements over 8 cores, including scheduler call-backs, cache
+// simulation and the worker handshake.
+func BenchmarkEngineParallelFor(b *testing.B) {
+	m := machine.TwoSocket(4, 1<<18, 1<<13)
+	for i := 0; i < b.N; i++ {
+		sp := mem.NewSpace(m.Links, m.Links)
+		arr := sp.NewF64("xs", 1<<16)
+		root := job.For(0, arr.Len(), 256,
+			func(lo, hi int) int64 { return int64(hi-lo) * 8 },
+			func(ctx job.Ctx, i int) { arr.Write(ctx, i, 1) })
+		if _, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 1}, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(1<<16)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkEngineForkJoin measures fork/join bookkeeping throughput with
+// minimal per-strand work.
+func BenchmarkEngineForkJoin(b *testing.B) {
+	m := machine.Flat(4, 1<<16)
+	var tree func(depth int) job.Job
+	tree = func(depth int) job.Job {
+		return job.FuncJob(func(ctx job.Ctx) {
+			ctx.Work(50)
+			if depth == 0 {
+				return
+			}
+			ctx.Fork(nil, tree(depth-1), tree(depth-1))
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		sp := mem.NewSpace(m.Links, m.Links)
+		if _, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 1}, tree(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(2047*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkEngineSB measures the space-bounded scheduler's end-to-end
+// overhead relative to BenchmarkEngineParallelFor's WS baseline.
+func BenchmarkEngineSB(b *testing.B) {
+	m := machine.TwoSocket(4, 1<<18, 1<<13)
+	for i := 0; i < b.N; i++ {
+		sp := mem.NewSpace(m.Links, m.Links)
+		arr := sp.NewF64("xs", 1<<16)
+		root := job.For(0, arr.Len(), 256,
+			func(lo, hi int) int64 { return int64(hi-lo) * 8 },
+			func(ctx job.Ctx, i int) { arr.Write(ctx, i, 1) })
+		if _, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.New("sb"), Seed: 1}, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,469 @@
+// Package sim is the runtime system of the experimental framework (§3):
+// it binds one simulated thread to every core of a PMH machine, drives the
+// program's strands through the scheduler's add/get/done call-backs, and
+// meters everything — per-core active time, per-call-back scheduler
+// overheads, empty-queue time, and exact cache misses at every level.
+//
+// The engine is a deterministic discrete-event simulator. Each worker
+// (core) is a goroutine that executes strand code; the engine goroutine
+// resumes exactly one worker at a time — always the one with the smallest
+// simulated clock — for a bounded chunk of simulated cycles, so strands on
+// different cores interleave in the shared caches at fine granularity while
+// the whole simulation stays single-threaded-deterministic: a run is a pure
+// function of (machine, program, scheduler, cost model, seed).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// Time-accounting buckets (§3.3's five components).
+const (
+	BucketActive = iota // executing program code
+	BucketAdd           // add call-back overhead
+	BucketDone          // done call-back (and task-end) overhead
+	BucketGet           // get call-back overhead
+	BucketEmpty         // get returned nothing: idle / load imbalance
+	numBuckets
+)
+
+// BucketNames labels the buckets in reports.
+var BucketNames = [numBuckets]string{"active", "add", "done", "get", "empty"}
+
+// Listener observes scheduling events for tracing; all methods are called
+// on the engine goroutine. Any method may be a no-op.
+type Listener interface {
+	StrandSpawned(s *job.Strand)
+	StrandStarted(s *job.Strand)
+	StrandEnded(s *job.Strand)
+	TaskEnded(t *job.Task, now int64)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Machine is the PMH to simulate. Required.
+	Machine *machine.Desc
+	// Space is the address space holding the program's (pre-allocated)
+	// data; its link count must match the machine. Required.
+	Space *mem.Space
+	// Scheduler maps strands to cores. Required.
+	Scheduler sched.Scheduler
+	// Cost is the scheduler/runtime cost model; zero value means defaults.
+	Cost sched.CostModel
+	// Seed drives all scheduler randomness.
+	Seed uint64
+	// Listener, if non-nil, receives trace events.
+	Listener Listener
+	// MaxStrands aborts runaway programs; 0 means no limit.
+	MaxStrands uint64
+}
+
+// Run executes root to completion on the configured machine and scheduler
+// and returns the measured Result.
+func Run(cfg Config, root job.Job) (*Result, error) {
+	if cfg.Machine == nil || cfg.Space == nil || cfg.Scheduler == nil {
+		return nil, fmt.Errorf("sim: Config requires Machine, Space and Scheduler")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.Cost == (sched.CostModel{}) {
+		cfg.Cost = sched.DefaultCosts()
+	}
+	// An idle worker must advance its clock or the event loop would spin
+	// on it forever; a chunk must be at least one cycle.
+	if cfg.Cost.IdleBackoff < 1 {
+		cfg.Cost.IdleBackoff = 1
+	}
+	if cfg.Cost.ChunkCycles < 1 {
+		cfg.Cost.ChunkCycles = 1
+	}
+	e := newEngine(cfg)
+	defer e.shutdown()
+	return e.run(root)
+}
+
+type engine struct {
+	cfg     Config
+	m       *machine.Desc
+	h       *cachesim.Hierarchy
+	sch     sched.Scheduler
+	cost    sched.CostModel
+	workers []*worker
+	heap    workerHeap
+
+	lockFree []int64 // per simulated lock: next free cycle
+
+	nextTaskID   uint64
+	nextStrandID uint64
+	// curSpawner is the strand whose completion is currently being
+	// processed; new strands record it as their dependency source.
+	curSpawner   *job.Strand
+	totalStrands uint64
+	liveStrands  int
+	rootEnded    bool
+
+	// curBucket attributes Env charges to the call-back being executed.
+	curBucket int
+
+	err error
+}
+
+func newEngine(cfg Config) *engine {
+	e := &engine{
+		cfg:  cfg,
+		m:    cfg.Machine,
+		h:    cachesim.New(cfg.Machine, cfg.Space),
+		sch:  cfg.Scheduler,
+		cost: cfg.Cost,
+	}
+	n := e.m.NumCores()
+	e.workers = make([]*worker, n)
+	for i := 0; i < n; i++ {
+		w := &worker{
+			id:     i,
+			leaf:   e.m.LeafOf(i),
+			rng:    xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + uint64(i) + 1),
+			resume: make(chan struct{}),
+			yield:  make(chan yieldMsg),
+			exited: make(chan struct{}),
+		}
+		e.workers[i] = w
+		go w.loop(e)
+	}
+	e.sch.Setup(e) // engine implements sched.Env
+	return e
+}
+
+// shutdown terminates all worker goroutines. Outside engine.step every
+// worker is blocked receiving on resume, so closing the channels unwinds
+// them all (idle workers exit the loop; paused workers unwind their strand
+// via workerStopped).
+func (e *engine) shutdown() {
+	for _, w := range e.workers {
+		close(w.resume)
+	}
+	for _, w := range e.workers {
+		<-w.exited
+	}
+}
+
+// --- sched.Env implementation -------------------------------------------
+
+// Machine implements sched.Env.
+func (e *engine) Machine() *machine.Desc { return e.m }
+
+// Cost implements sched.Env.
+func (e *engine) Cost() sched.CostModel { return e.cost }
+
+// NewLock implements sched.Env.
+func (e *engine) NewLock() int {
+	e.lockFree = append(e.lockFree, 0)
+	return len(e.lockFree) - 1
+}
+
+// Lock implements sched.Env: serialize on the lock in simulated time.
+func (e *engine) Lock(worker, id int, hold int64) {
+	w := e.workers[worker]
+	start := w.clock
+	if e.lockFree[id] > start {
+		start = e.lockFree[id]
+	}
+	e.lockFree[id] = start + hold
+	total := (start - w.clock) + hold
+	w.clock += total
+	w.timers[e.curBucket] += total
+}
+
+// Charge implements sched.Env.
+func (e *engine) Charge(worker int, cycles int64) {
+	w := e.workers[worker]
+	w.clock += cycles
+	w.timers[e.curBucket] += cycles
+}
+
+// RNG implements sched.Env.
+func (e *engine) RNG(worker int) *xrand.Source { return e.workers[worker].rng }
+
+// --- call-back wrappers with bucket attribution --------------------------
+
+func (e *engine) callAdd(s *job.Strand, w *worker) {
+	e.curBucket = BucketAdd
+	e.sch.Add(s, w.id)
+	e.curBucket = BucketActive
+}
+
+func (e *engine) callGet(w *worker) *job.Strand {
+	e.curBucket = BucketGet
+	before := w.timers[BucketGet]
+	s := e.sch.Get(w.id)
+	e.curBucket = BucketActive
+	if s == nil {
+		// §3.3: "the empty queue overhead is the amount of time the
+		// scheduler fails to assign work to a thread (get returns null)" —
+		// reattribute the whole failed call.
+		spent := w.timers[BucketGet] - before
+		w.timers[BucketGet] = before
+		w.timers[BucketEmpty] += spent
+	}
+	return s
+}
+
+func (e *engine) callDone(s *job.Strand, w *worker) {
+	e.curBucket = BucketDone
+	e.sch.Done(s, w.id)
+	e.curBucket = BucketActive
+}
+
+func (e *engine) callTaskEnd(t *job.Task, w *worker) {
+	e.curBucket = BucketDone
+	e.sch.TaskEnd(t, w.id)
+	e.curBucket = BucketActive
+}
+
+// --- task/strand lifecycle ------------------------------------------------
+
+func (e *engine) newTask(parent *job.Task, j job.Job) *job.Task {
+	e.nextTaskID++
+	depth := 0
+	if parent != nil {
+		depth = parent.Depth + 1
+	}
+	return &job.Task{
+		ID:          e.nextTaskID,
+		Parent:      parent,
+		Depth:       depth,
+		Job:         j,
+		SizeBytes:   job.SizeOf(j, e.m.Block()),
+		AnchorLevel: -1,
+		AnchorNode:  -1,
+	}
+}
+
+func (e *engine) newStrand(t *job.Task, j job.Job, kind job.Kind, now int64) *job.Strand {
+	e.nextStrandID++
+	e.totalStrands++
+	size := job.StrandSizeOf(j, e.m.Block())
+	if size < 0 {
+		size = t.SizeBytes // paper's default: strand inherits task size
+	}
+	return &job.Strand{
+		ID:        e.nextStrandID,
+		Task:      t,
+		Job:       j,
+		Kind:      kind,
+		SizeBytes: size,
+		Spawn:     now,
+		Proc:      -1,
+		SpawnedBy: e.curSpawner,
+	}
+}
+
+// spawn registers a new strand with the scheduler on behalf of w.
+func (e *engine) spawn(s *job.Strand, w *worker) {
+	if e.cfg.MaxStrands > 0 && e.totalStrands > e.cfg.MaxStrands {
+		panic(fmt.Sprintf("sim: strand budget %d exceeded (runaway program?)", e.cfg.MaxStrands))
+	}
+	if l := e.cfg.Listener; l != nil {
+		l.StrandSpawned(s)
+	}
+	e.liveStrands++
+	e.callAdd(s, w)
+}
+
+// finishStrand handles a worker whose strand code returned: scheduler
+// done, then either fork bookkeeping or join/task-end propagation.
+func (e *engine) finishStrand(w *worker) {
+	s := w.cur
+	s.End = w.clock
+	if l := e.cfg.Listener; l != nil {
+		l.StrandEnded(s)
+	}
+	e.callDone(s, w)
+	rec := w.takeFork()
+	w.cur = nil
+	e.liveStrands--
+	e.curSpawner = s
+	t := s.Task
+	if !rec.called {
+		// Strand ended without forking: the task's strand sequence is over.
+		t.FinalDone = true
+		e.maybeFinish(t, w)
+		return
+	}
+	t.Cont = rec.cont
+	t.BlockPending = len(rec.children)
+	t.ChildPending += len(rec.children)
+	for _, cj := range rec.children {
+		ct := e.newTask(t, cj)
+		e.spawn(e.newStrand(ct, cj, job.TaskStart, w.clock), w)
+	}
+	if rec.futureHandle != nil {
+		ft := e.newTask(t, rec.futureBody)
+		ft.Handle = rec.futureHandle
+		rec.futureHandle.Bind(ft)
+		t.ChildPending++ // gates task completion, not the continuation
+		e.spawn(e.newStrand(ft, rec.futureBody, job.TaskStart, w.clock), w)
+	}
+	for _, f := range rec.awaits {
+		if f.AddWaiter(t) {
+			t.BlockPending++
+		}
+	}
+	if t.BlockPending == 0 {
+		// Pure-await already satisfied (or future fork with no gated
+		// children): release the continuation immediately.
+		e.releaseBlock(t, w)
+		e.maybeFinish(t, w)
+	}
+}
+
+// releaseBlock fires when a task's current parallel block has fully joined
+// (BlockPending reached zero): spawn the continuation strand, or — if none
+// — the task's strand sequence is over.
+func (e *engine) releaseBlock(t *job.Task, w *worker) {
+	if t.Cont != nil {
+		cont := t.Cont
+		t.Cont = nil
+		e.spawn(e.newStrand(t, cont, job.Continuation, w.clock), w)
+		return
+	}
+	t.FinalDone = true
+}
+
+// maybeFinish completes t if its strand sequence is over and all child
+// tasks (including futures) have completed, cascading upward and waking
+// any futures' waiters. It is idempotent per task.
+func (e *engine) maybeFinish(t *job.Task, w *worker) {
+	for t != nil && t.FinalDone && t.ChildPending == 0 && !t.Ended {
+		t.Ended = true
+		if l := e.cfg.Listener; l != nil {
+			l.TaskEnded(t, w.clock)
+		}
+		e.callTaskEnd(t, w)
+		if t.Handle != nil {
+			for _, waiter := range t.Handle.Complete() {
+				waiter.BlockPending--
+				if waiter.BlockPending == 0 {
+					e.releaseBlock(waiter, w)
+					e.maybeFinish(waiter, w)
+				}
+			}
+		}
+		p := t.Parent
+		if p == nil {
+			e.rootEnded = true
+			return
+		}
+		p.ChildPending--
+		if t.Handle == nil {
+			p.BlockPending--
+			if p.BlockPending == 0 {
+				e.releaseBlock(p, w)
+			}
+		}
+		t = p
+	}
+}
+
+// --- main loop -------------------------------------------------------------
+
+func (e *engine) run(root job.Job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: %v", r)
+		}
+	}()
+
+	rootTask := e.newTask(nil, root)
+	e.spawn(e.newStrand(rootTask, root, job.TaskStart, 0), e.workers[0])
+
+	e.heap.init(e.workers)
+	for !e.rootEnded {
+		w := e.heap.pop()
+		e.step(w)
+		if e.err != nil {
+			return nil, e.err
+		}
+		e.heap.push(w)
+		if e.liveStrands == 0 && !e.rootEnded {
+			// Nothing queued, nothing running, root not done: the program
+			// awaits a future that can never complete.
+			return nil, fmt.Errorf("sim: deadlock — no runnable strands but the root task has not completed (unsatisfiable future await?)")
+		}
+	}
+	return e.collect(), nil
+}
+
+// step advances one worker by one event: acquire a strand if idle, then
+// run one chunk of it.
+func (e *engine) step(w *worker) {
+	if w.cur == nil {
+		s := e.callGet(w)
+		if s == nil {
+			w.clock += e.cost.IdleBackoff
+			w.timers[BucketEmpty] += e.cost.IdleBackoff
+			return
+		}
+		s.Start = w.clock
+		s.Proc = w.id
+		if l := e.cfg.Listener; l != nil {
+			l.StrandStarted(s)
+		}
+		w.cur = s
+		w.begin(e)
+	}
+	msg := w.runChunk()
+	switch msg.kind {
+	case yieldChunk:
+		// Worker paused mid-strand; nothing to do, it will be resumed
+		// when it is again the earliest worker.
+	case yieldDone:
+		e.finishStrand(w)
+	case yieldPanic:
+		e.err = fmt.Errorf("sim: strand panicked on worker %d: %v", w.id, msg.panicVal)
+	}
+}
+
+// collect builds the Result after the root task has ended.
+func (e *engine) collect() *Result {
+	wall := int64(0)
+	for _, w := range e.workers {
+		if w.clock > wall {
+			wall = w.clock
+		}
+	}
+	// Workers that went idle before the end spin in get until the
+	// program completes; account that tail as empty-queue time.
+	for _, w := range e.workers {
+		w.timers[BucketEmpty] += wall - w.clock
+	}
+	r := &Result{
+		Machine:      e.m,
+		Scheduler:    e.sch.Name(),
+		WallCycles:   wall,
+		Workers:      make([]WorkerTimes, len(e.workers)),
+		Tasks:        e.nextTaskID,
+		Strands:      e.nextStrandID,
+		DRAMAccesses: e.h.DRAMAccesses,
+		StallCycles:  e.h.StallCycles,
+		Writebacks:   e.h.Writebacks,
+		RemoteHits:   e.h.RemoteHits,
+		Hier:         e.h,
+	}
+	for i, w := range e.workers {
+		r.Workers[i] = WorkerTimes{Buckets: w.timers}
+	}
+	r.MissesPerLevel = make([]int64, e.m.NumLevels())
+	for lvl := 1; lvl < e.m.NumLevels(); lvl++ {
+		r.MissesPerLevel[lvl] = e.h.MissesAt(lvl)
+	}
+	return r
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// TestFuturePipeline builds a producer/consumer DAG that plain fork-join
+// cannot express: a future produces a value while the main task continues
+// with other work, and a later stage awaits it.
+func TestFuturePipeline(t *testing.T) {
+	for _, sn := range []string{"ws", "sb", "pdf"} {
+		m := machine.TwoSocket(2, 1<<16, 1<<12)
+		sp := mem.NewSpace(m.Links, m.Links)
+		var produced, consumed, overlapped bool
+		f := job.NewFuture()
+		root := job.FuncJob(func(ctx job.Ctx) {
+			ctx.ForkFuture(job.FuncJob(func(c2 job.Ctx) {
+				// Continuation runs without waiting for the future.
+				overlapped = !f.Done() || produced
+				c2.ForkAwait(job.FuncJob(func(job.Ctx) {
+					consumed = produced // must observe the producer's effect
+				}), []*job.Future{f})
+			}), f, job.FuncJob(func(c3 job.Ctx) {
+				c3.Work(5000)
+				produced = true
+			}))
+		})
+		res, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.New(sn), Seed: 3}, root)
+		if err != nil {
+			t.Fatalf("%s: %v", sn, err)
+		}
+		if !produced || !consumed {
+			t.Errorf("%s: produced=%v consumed=%v", sn, produced, consumed)
+		}
+		if !overlapped {
+			t.Errorf("%s: continuation incorrectly waited for the future", sn)
+		}
+		if !f.Done() {
+			t.Errorf("%s: future not resolved at completion", sn)
+		}
+		if res.Tasks < 2 {
+			t.Errorf("%s: future task not counted", sn)
+		}
+	}
+}
+
+// TestAwaitAlreadyDoneFuture awaits a future that completed long before.
+func TestAwaitAlreadyDoneFuture(t *testing.T) {
+	m := machine.Flat(2, 1<<14)
+	sp := mem.NewSpace(1, 1)
+	f := job.NewFuture()
+	ran := false
+	root := job.FuncJob(func(ctx job.Ctx) {
+		ctx.ForkFuture(job.FuncJob(func(c2 job.Ctx) {
+			// Burn enough time that the future surely finished.
+			c2.Work(100000)
+			c2.ForkAwait(job.FuncJob(func(job.Ctx) { ran = true }), []*job.Future{f})
+		}), f, job.FuncJob(func(job.Ctx) {}))
+	})
+	if _, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 1}, root); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("await on completed future never released")
+	}
+}
+
+// TestMultipleAwaiters gates several tasks on one future.
+func TestMultipleAwaiters(t *testing.T) {
+	m := machine.Flat(4, 1<<14)
+	sp := mem.NewSpace(1, 1)
+	f := job.NewFuture()
+	hits := 0
+	waiterBody := func(c job.Ctx) {
+		c.ForkAwait(job.FuncJob(func(job.Ctx) { hits++ }), []*job.Future{f})
+	}
+	root := job.FuncJob(func(ctx job.Ctx) {
+		ctx.ForkFuture(job.FuncJob(func(c2 job.Ctx) {
+			c2.Fork(nil,
+				job.FuncJob(waiterBody), job.FuncJob(waiterBody), job.FuncJob(waiterBody))
+		}), f, job.FuncJob(func(c job.Ctx) { c.Work(20000) }))
+	})
+	if _, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 2}, root); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+}
+
+// TestAwaitCombinedWithChildren gates a continuation on children AND a
+// future together.
+func TestAwaitCombinedWithChildren(t *testing.T) {
+	m := machine.Flat(4, 1<<14)
+	sp := mem.NewSpace(1, 1)
+	f := job.NewFuture()
+	var childDone, futDone, contRan bool
+	root := job.FuncJob(func(ctx job.Ctx) {
+		ctx.ForkFuture(job.FuncJob(func(c2 job.Ctx) {
+			c2.ForkAwait(job.FuncJob(func(job.Ctx) {
+				contRan = childDone && futDone
+			}), []*job.Future{f},
+				job.FuncJob(func(c job.Ctx) { c.Work(100); childDone = true }))
+		}), f, job.FuncJob(func(c job.Ctx) { c.Work(30000); futDone = true }))
+	})
+	if _, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 4}, root); err != nil {
+		t.Fatal(err)
+	}
+	if !contRan {
+		t.Fatal("continuation ran before both dependencies resolved")
+	}
+}
+
+// TestDeadlockDetected: awaiting a future that is never spawned must abort
+// with a diagnostic instead of hanging.
+func TestDeadlockDetected(t *testing.T) {
+	m := machine.Flat(2, 1<<14)
+	sp := mem.NewSpace(1, 1)
+	f := job.NewFuture() // never spawned
+	root := job.FuncJob(func(ctx job.Ctx) {
+		ctx.ForkAwait(job.FuncJob(func(job.Ctx) {}), []*job.Future{f})
+	})
+	_, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 1}, root)
+	if err == nil {
+		t.Fatal("unsatisfiable await did not error")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestFutureTaskGatesParentCompletion: a task must not complete while its
+// future child runs, even with a nil continuation.
+func TestFutureTaskGatesParentCompletion(t *testing.T) {
+	m := machine.Flat(2, 1<<14)
+	sp := mem.NewSpace(1, 1)
+	f := job.NewFuture()
+	order := []string{}
+	root := job.FuncJob(func(ctx job.Ctx) {
+		ctx.Fork(job.FuncJob(func(c job.Ctx) { order = append(order, "root-cont") }),
+			job.FuncJob(func(c2 job.Ctx) {
+				c2.ForkFuture(nil, f, job.FuncJob(func(c3 job.Ctx) {
+					c3.Work(50000)
+					order = append(order, "future")
+				}))
+			}))
+	})
+	if _, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 9}, root); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "future" || order[1] != "root-cont" {
+		t.Fatalf("order = %v: the spawning task's join did not wait for its future child", order)
+	}
+}

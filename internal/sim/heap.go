@@ -1,0 +1,76 @@
+package sim
+
+// workerHeap orders workers by (clock, id) so the engine always advances
+// the earliest worker, with a deterministic tie-break. A hand-rolled binary
+// heap avoids container/heap's interface allocations in the hottest loop of
+// the simulator.
+type workerHeap struct {
+	ws []*worker
+}
+
+func (h *workerHeap) init(ws []*worker) {
+	h.ws = append(h.ws[:0], ws...)
+	for i := len(h.ws)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *workerHeap) less(i, j int) bool {
+	a, b := h.ws[i], h.ws[j]
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+func (h *workerHeap) swap(i, j int) { h.ws[i], h.ws[j] = h.ws[j], h.ws[i] }
+
+func (h *workerHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *workerHeap) down(i int) {
+	n := len(h.ws)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// pop removes and returns the earliest worker.
+func (h *workerHeap) pop() *worker {
+	w := h.ws[0]
+	last := len(h.ws) - 1
+	h.ws[0] = h.ws[last]
+	h.ws = h.ws[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return w
+}
+
+// push re-inserts a worker after its clock advanced.
+func (h *workerHeap) push(w *worker) {
+	h.ws = append(h.ws, w)
+	h.up(len(h.ws) - 1)
+}
+
+func (h *workerHeap) len() int { return len(h.ws) }

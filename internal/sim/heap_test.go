@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestWorkerHeapOrdering(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%32) + 1
+		rng := xrand.New(seed)
+		ws := make([]*worker, n)
+		for i := range ws {
+			ws[i] = &worker{id: i, clock: int64(rng.Intn(1000))}
+		}
+		var h workerHeap
+		h.init(ws)
+		// Simulate engine churn: pop earliest, advance, push back.
+		prevClock := int64(-1)
+		for step := 0; step < 200; step++ {
+			w := h.pop()
+			// Every other live worker must not be earlier.
+			for _, o := range h.ws {
+				if o.clock < w.clock || (o.clock == w.clock && o.id < w.id) {
+					return false
+				}
+			}
+			if w.clock < prevClock {
+				// Clocks only move forward, and we advance the popped
+				// worker, so pops must be monotone.
+				return false
+			}
+			prevClock = w.clock
+			w.clock += int64(rng.Intn(50))
+			h.push(w)
+		}
+		return h.len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkerHeapTieBreakById(t *testing.T) {
+	ws := []*worker{{id: 2, clock: 5}, {id: 0, clock: 5}, {id: 1, clock: 5}}
+	var h workerHeap
+	h.init(ws)
+	for want := 0; want < 3; want++ {
+		if got := h.pop(); got.id != want {
+			t.Fatalf("pop %d: got id %d", want, got.id)
+		}
+	}
+}

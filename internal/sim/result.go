@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/machine"
+)
+
+// WorkerTimes is the per-core five-way time breakdown of §3.3.
+type WorkerTimes struct {
+	Buckets [numBuckets]int64
+}
+
+// Active returns the cycles spent executing program code.
+func (t WorkerTimes) Active() int64 { return t.Buckets[BucketActive] }
+
+// Overhead returns the combined scheduler overhead: add + done + get +
+// empty-queue time, the paper's "average overhead" (measures ii–v).
+func (t WorkerTimes) Overhead() int64 {
+	return t.Buckets[BucketAdd] + t.Buckets[BucketDone] + t.Buckets[BucketGet] + t.Buckets[BucketEmpty]
+}
+
+// Result reports the measurements of one simulation run.
+type Result struct {
+	Machine   *machine.Desc
+	Scheduler string
+
+	// WallCycles is the makespan: the largest core clock at completion.
+	WallCycles int64
+	// Workers holds each core's time breakdown.
+	Workers []WorkerTimes
+
+	// Tasks and Strands count the program's decomposition.
+	Tasks, Strands uint64
+
+	// MissesPerLevel[i] is the total misses of all level-i caches
+	// (index 1 = outermost = the paper's L3 metric; index 0 unused).
+	MissesPerLevel []int64
+	// DRAMAccesses counts lines fetched from memory; StallCycles counts
+	// cycles cores waited on busy DRAM links (bandwidth contention);
+	// Writebacks counts dirty lines written back; RemoteHits counts DRAM
+	// accesses that crossed to another socket's link.
+	DRAMAccesses int64
+	StallCycles  int64
+	Writebacks   int64
+	RemoteHits   int64
+
+	// Hier exposes the full cache hierarchy for detailed inspection.
+	Hier *cachesim.Hierarchy
+}
+
+// avg returns the mean over workers of f, in cycles.
+func (r *Result) avg(f func(WorkerTimes) int64) float64 {
+	var sum int64
+	for _, w := range r.Workers {
+		sum += f(w)
+	}
+	return float64(sum) / float64(len(r.Workers))
+}
+
+// ActiveAvg returns the active time averaged over all cores, in cycles —
+// the quantity the paper plots as "Active Time".
+func (r *Result) ActiveAvg() float64 { return r.avg(WorkerTimes.Active) }
+
+// OverheadAvg returns the scheduler + load-imbalance overhead averaged over
+// all cores, in cycles — the paper's "Overhead".
+func (r *Result) OverheadAvg() float64 { return r.avg(WorkerTimes.Overhead) }
+
+// BucketAvg returns the average over cores of one accounting bucket.
+func (r *Result) BucketAvg(bucket int) float64 {
+	return r.avg(func(t WorkerTimes) int64 { return t.Buckets[bucket] })
+}
+
+// EmptyAvg returns the average empty-queue (load-imbalance) time in cycles.
+func (r *Result) EmptyAvg() float64 { return r.BucketAvg(BucketEmpty) }
+
+// TimeAvg returns ActiveAvg + OverheadAvg: the per-core execution time the
+// paper's bar charts stack.
+func (r *Result) TimeAvg() float64 { return r.ActiveAvg() + r.OverheadAvg() }
+
+// ActiveSeconds converts ActiveAvg to seconds at the machine clock.
+func (r *Result) ActiveSeconds() float64 { return r.Machine.Seconds(int64(r.ActiveAvg())) }
+
+// OverheadSeconds converts OverheadAvg to seconds at the machine clock.
+func (r *Result) OverheadSeconds() float64 { return r.Machine.Seconds(int64(r.OverheadAvg())) }
+
+// WallSeconds converts WallCycles to seconds at the machine clock.
+func (r *Result) WallSeconds() float64 { return r.Machine.Seconds(r.WallCycles) }
+
+// L3Misses returns the misses of the outermost cache level, the paper's
+// headline metric.
+func (r *Result) L3Misses() int64 {
+	if len(r.MissesPerLevel) < 2 {
+		return 0
+	}
+	return r.MissesPerLevel[1]
+}
+
+// String renders a compact multi-line report.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: wall=%d cycles (%.4fs)\n", r.Scheduler, r.Machine.Name, r.WallCycles, r.WallSeconds())
+	fmt.Fprintf(&b, "  tasks=%d strands=%d\n", r.Tasks, r.Strands)
+	fmt.Fprintf(&b, "  avg active=%.0f overhead=%.0f (add=%.0f done=%.0f get=%.0f empty=%.0f)\n",
+		r.ActiveAvg(), r.OverheadAvg(),
+		r.BucketAvg(BucketAdd), r.BucketAvg(BucketDone), r.BucketAvg(BucketGet), r.BucketAvg(BucketEmpty))
+	for lvl := 1; lvl < len(r.MissesPerLevel); lvl++ {
+		fmt.Fprintf(&b, "  %s misses=%d\n", r.Machine.Levels[lvl].Name, r.MissesPerLevel[lvl])
+	}
+	fmt.Fprintf(&b, "  dram=%d lines (+%d writebacks, %d remote), stall=%d cycles",
+		r.DRAMAccesses, r.Writebacks, r.RemoteHits, r.StallCycles)
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"repro/internal/job"
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+type yieldKind uint8
+
+const (
+	yieldChunk   yieldKind = iota // chunk budget exhausted, strand continues
+	yieldDone                     // strand code returned
+	yieldPanic                    // strand code panicked
+	yieldStopped                  // goroutine unwound during shutdown
+)
+
+type yieldMsg struct {
+	kind     yieldKind
+	panicVal any
+}
+
+// workerStopped unwinds a worker goroutine paused mid-strand when the
+// engine shuts down on an error path.
+type workerStopped struct{}
+
+// worker is one simulated core: a goroutine that executes strand code,
+// cooperatively yielding to the engine every chunk of simulated cycles.
+//
+// Synchronization invariant: the engine and the workers form a baton-pass —
+// at any moment at most one of them runs. Outside engine.step every worker
+// is blocked receiving on resume (at the loop top when idle, inside pause
+// when mid-strand), so worker code may freely touch engine state (caches,
+// clocks) without locks and the whole simulation is deterministic.
+type worker struct {
+	id   int // logical core id (scheduler-visible)
+	leaf int // leaf position in the cache tree
+
+	clock  int64
+	timers [numBuckets]int64
+	rng    *xrand.Source
+
+	cur *job.Strand
+
+	// resume: engine → worker "run until your next yield".
+	// yield:  worker → engine, exactly one reply per resume.
+	// exited: closed when the goroutine returns.
+	resume chan struct{}
+	yield  chan yieldMsg
+	exited chan struct{}
+
+	// chunkLeft is the remaining simulated-cycle budget before the current
+	// chunk must yield.
+	chunkLeft int64
+
+	// Terminal-fork record for the current strand.
+	fork forkRec
+}
+
+// forkRec captures the terminal Fork/ForkFuture/ForkAwait of one strand.
+type forkRec struct {
+	called       bool
+	cont         job.Job
+	children     []job.Job
+	awaits       []*job.Future
+	futureHandle *job.Future
+	futureBody   job.Job
+}
+
+// loop is the worker goroutine body: wait for a strand, run it, report.
+func (w *worker) loop(e *engine) {
+	defer close(w.exited)
+	for range w.resume {
+		msg := w.runStrand(e)
+		if msg.kind == yieldStopped {
+			return
+		}
+		w.yield <- msg
+	}
+}
+
+func (w *worker) runStrand(e *engine) (msg yieldMsg) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(workerStopped); ok {
+				msg = yieldMsg{kind: yieldStopped}
+				return
+			}
+			msg = yieldMsg{kind: yieldPanic, panicVal: r}
+		}
+	}()
+	w.cur.Job.Run(&wctx{w: w, e: e})
+	return yieldMsg{kind: yieldDone}
+}
+
+// begin prepares the worker to execute w.cur from its start.
+func (w *worker) begin(e *engine) {
+	w.chunkLeft = e.cost.ChunkCycles
+	w.fork = forkRec{}
+}
+
+// runChunk resumes the worker until its next yield and returns the yield.
+// Called on the engine goroutine.
+func (w *worker) runChunk() yieldMsg {
+	w.resume <- struct{}{}
+	return <-w.yield
+}
+
+// takeFork consumes the terminal-fork record of the finished strand.
+func (w *worker) takeFork() forkRec {
+	rec := w.fork
+	w.fork = forkRec{}
+	return rec
+}
+
+// wctx implements job.Ctx for one strand execution on one worker.
+type wctx struct {
+	w *worker
+	e *engine
+}
+
+// pause hands control back to the engine between chunks. If the engine has
+// shut down (resume closed), unwind the strand via workerStopped.
+func (c *wctx) pause() {
+	c.w.yield <- yieldMsg{kind: yieldChunk}
+	if _, ok := <-c.w.resume; !ok {
+		panic(workerStopped{})
+	}
+	c.w.chunkLeft = c.e.cost.ChunkCycles
+}
+
+// spend charges cycles of program execution (active time) and yields when
+// the chunk budget is exhausted.
+func (c *wctx) spend(cycles int64) {
+	c.w.clock += cycles
+	c.w.timers[BucketActive] += cycles
+	c.w.chunkLeft -= cycles
+	if c.w.chunkLeft <= 0 {
+		c.pause()
+	}
+}
+
+// Access implements job.Ctx (and mem.Accessor): simulate the access on the
+// worker's cache path and charge its cost.
+func (c *wctx) Access(a mem.Addr, write bool) {
+	cost, _ := c.e.h.Access(c.w.leaf, c.w.clock, a, write)
+	c.spend(cost)
+}
+
+// Work implements job.Ctx: charge pure compute cycles.
+func (c *wctx) Work(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	c.spend(cycles)
+}
+
+// Fork implements job.Ctx: record the strand's terminal fork.
+func (c *wctx) Fork(cont job.Job, children ...job.Job) {
+	c.terminal()
+	if len(children) == 0 {
+		panic("sim: Fork with no children")
+	}
+	c.w.fork = forkRec{called: true, cont: cont, children: children}
+}
+
+// ForkFuture implements job.Ctx.
+func (c *wctx) ForkFuture(cont job.Job, f *job.Future, body job.Job) {
+	c.terminal()
+	if f == nil || body == nil {
+		panic("sim: ForkFuture requires a future handle and a body")
+	}
+	c.w.fork = forkRec{called: true, cont: cont, futureHandle: f, futureBody: body}
+}
+
+// ForkAwait implements job.Ctx.
+func (c *wctx) ForkAwait(cont job.Job, futures []*job.Future, children ...job.Job) {
+	c.terminal()
+	if cont == nil {
+		panic("sim: ForkAwait requires a continuation")
+	}
+	for _, f := range futures {
+		if f == nil {
+			panic("sim: ForkAwait with nil future")
+		}
+	}
+	c.w.fork = forkRec{called: true, cont: cont, children: children, awaits: futures}
+}
+
+// terminal enforces the one-terminal-call-per-strand discipline.
+func (c *wctx) terminal() {
+	if c.w.fork.called {
+		panic("sim: fork primitive called twice in one strand (must be terminal)")
+	}
+}
+
+// Worker implements job.Ctx.
+func (c *wctx) Worker() int { return c.w.id }
+
+// RNG implements job.Ctx.
+func (c *wctx) RNG() *xrand.Source { return c.w.rng }

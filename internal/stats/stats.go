@@ -1,0 +1,167 @@
+// Package stats implements the summary statistics used to report
+// experimental results.
+//
+// The paper reports "the average of at least 10 runs with the smallest and
+// largest readings across runs removed" (§5.3). TrimmedMean implements that
+// estimator exactly; the other helpers support the derived quantities shown
+// in the figures (percent change, speedup, standard deviation).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TrimmedMean returns the mean of xs after removing one minimum and one
+// maximum element, matching the paper's reporting methodology. With fewer
+// than three samples nothing is trimmed. An empty slice yields NaN.
+func TrimmedMean(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return xs[0]
+	case 2:
+		return (xs[0] + xs[1]) / 2
+	}
+	// Drop one minimum and one maximum at distinct indices (with all-equal
+	// samples these are simply two arbitrary elements).
+	lo, hi := 0, 1
+	if xs[hi] < xs[lo] {
+		lo, hi = hi, lo
+	}
+	for i := 2; i < len(xs); i++ {
+		if xs[i] < xs[lo] {
+			lo = i
+		} else if xs[i] > xs[hi] {
+			hi = i
+		}
+	}
+	sum := 0.0
+	for i, v := range xs {
+		if i == lo || i == hi {
+			continue
+		}
+		sum += v
+	}
+	return sum / float64(len(xs)-2)
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, v := range xs {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Median returns the median of xs without modifying it, or NaN if empty.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// PercentChange returns 100*(to-from)/from: negative means "to" is smaller.
+// A zero baseline yields NaN rather than Inf so tables stay readable.
+func PercentChange(from, to float64) float64 {
+	if from == 0 {
+		return math.NaN()
+	}
+	return 100 * (to - from) / from
+}
+
+// Speedup returns base/improved — how many times faster "improved" is than
+// "base". A zero improved value yields NaN.
+func Speedup(base, improved float64) float64 {
+	if improved == 0 {
+		return math.NaN()
+	}
+	return base / improved
+}
+
+// Min returns the smallest element; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Summary aggregates repeated measurements of a single metric.
+type Summary struct {
+	N       int
+	Mean    float64 // trimmed mean (paper methodology)
+	RawMean float64
+	Std     float64
+	MinV    float64
+	MaxV    float64
+}
+
+// Summarize computes a Summary over xs. It panics on an empty slice: every
+// experiment cell must have at least one sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	return Summary{
+		N:       len(xs),
+		Mean:    TrimmedMean(xs),
+		RawMean: Mean(xs),
+		Std:     StdDev(xs),
+		MinV:    Min(xs),
+		MaxV:    Max(xs),
+	}
+}
+
+// String renders the summary as "mean ±std [min,max] (n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ±%.2g [%.4g,%.4g] (n=%d)", s.Mean, s.Std, s.MinV, s.MaxV, s.N)
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTrimmedMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{5}, 5},
+		{[]float64{4, 6}, 5},
+		{[]float64{1, 2, 3}, 2},           // drop 1 and 3
+		{[]float64{100, 1, 2, 3}, 2.5},    // drop 1 and 100
+		{[]float64{7, 7, 7, 7}, 7},        // ties: drop one min, one max
+		{[]float64{0, 10, 5, 5, 5, 5}, 5}, // outliers at both ends removed
+	}
+	for _, c := range cases {
+		if got := TrimmedMean(c.in); !almost(got, c.want) {
+			t.Errorf("TrimmedMean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(TrimmedMean(nil)) {
+		t.Error("TrimmedMean(nil) should be NaN")
+	}
+}
+
+func TestTrimmedMeanDropsExactlyTwo(t *testing.T) {
+	// Property: for n>=3, the trimmed mean equals the plain mean of the
+	// sorted slice minus its first and last elements.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// keep magnitudes small enough for stable float comparison
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) < 3 {
+			return true
+		}
+		cp := append([]float64(nil), xs...)
+		sort.Float64s(cp)
+		want := Mean(cp[1 : len(cp)-1])
+		got := TrimmedMean(xs)
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almost(got, 5) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of single sample should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); !almost(got, 2) {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); !almost(got, 2.5) {
+		t.Errorf("Median even = %v", got)
+	}
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestPercentChangeAndSpeedup(t *testing.T) {
+	if got := PercentChange(100, 75); !almost(got, -25) {
+		t.Errorf("PercentChange(100,75) = %v, want -25", got)
+	}
+	if got := Speedup(2.0, 1.0); !almost(got, 2) {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if !math.IsNaN(PercentChange(0, 5)) {
+		t.Error("PercentChange from zero should be NaN")
+	}
+	if !math.IsNaN(Speedup(1, 0)) {
+		t.Error("Speedup with zero denominator should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 3) { // trim 1 and 100 → mean(2,3,4)
+		t.Errorf("trimmed mean = %v, want 3", s.Mean)
+	}
+	if s.MinV != 1 || s.MaxV != 100 {
+		t.Errorf("min/max = %v/%v", s.MinV, s.MaxV)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}

@@ -1,0 +1,222 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// dcJob is a synthetic divide-and-conquer workload: scan an array range,
+// then recurse on the two halves — the same shape as the paper's RRM.
+type dcJob struct {
+	arr  mem.F64
+	base int
+}
+
+func (d dcJob) Run(ctx job.Ctx) {
+	n := d.arr.Len()
+	for i := 0; i < n; i++ {
+		d.arr.Write(ctx, i, d.arr.Read(ctx, i)+1)
+	}
+	if n <= d.base {
+		return
+	}
+	ctx.Fork(nil,
+		dcJob{arr: d.arr.Sub(0, n/2), base: d.base},
+		dcJob{arr: d.arr.Sub(n/2, n), base: d.base})
+}
+
+func (d dcJob) Size(int64) int64       { return d.arr.Bytes() }
+func (d dcJob) StrandSize(int64) int64 { return d.arr.Bytes() }
+
+func runDC(t *testing.T, s sched.Scheduler, n int) (*trace.Recorder, *machine.Desc) {
+	t.Helper()
+	m := machine.TwoSocket(2, 64<<10, 4<<10)
+	sp := mem.NewSpace(m.Links, m.Links)
+	arr := sp.NewF64("xs", n)
+	rec := trace.New()
+	_, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: s, Seed: 11, Listener: rec},
+		dcJob{arr: arr, base: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each element is incremented once per level of recursion it is part
+	// of: levels = log2(n/base)+1; verify program correctness.
+	levels := 1
+	for sz := n; sz > 64; sz /= 2 {
+		levels++
+	}
+	for i, v := range arr.Data {
+		if v != float64(levels) {
+			t.Fatalf("element %d = %v, want %d (program incorrect)", i, v, levels)
+		}
+	}
+	return rec, m
+}
+
+func TestScheduleValidUnderAllSchedulers(t *testing.T) {
+	for _, name := range []string{"ws", "pws", "cilk", "sb", "sbd"} {
+		rec, m := runDC(t, sched.New(name), 4096)
+		if err := rec.ValidateSchedule(m); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(rec.Strands) == 0 || len(rec.Tasks) == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+	}
+}
+
+func TestSpaceBoundedPropertiesHold(t *testing.T) {
+	for _, name := range []string{"sb", "sbd"} {
+		rec, m := runDC(t, sched.New(name), 4096)
+		if err := rec.ValidateSpaceBounded(m, sched.DefaultSigma); err != nil {
+			t.Errorf("%s: space-bounded properties violated: %v", name, err)
+		}
+	}
+}
+
+func TestWorkStealingViolatesAnchoring(t *testing.T) {
+	// Sanity check that the validator has teeth: WS does not anchor tasks,
+	// so the anchored property must fail for it.
+	rec, m := runDC(t, sched.NewWS(), 1024)
+	if err := rec.ValidateSpaceBounded(m, sched.DefaultSigma); err == nil {
+		t.Fatal("validator accepted a work-stealing schedule as space-bounded")
+	} else if !strings.Contains(err.Error(), "anchored") {
+		t.Errorf("unexpected validator error: %v", err)
+	}
+}
+
+func TestValidatorRejectsOversizedAnchor(t *testing.T) {
+	m := machine.TwoSocket(2, 64<<10, 4<<10)
+	rec := trace.New()
+	// Fabricate a task claiming an anchor its size does not befit.
+	task := &job.Task{ID: 1, SizeBytes: 1 << 20, AnchorLevel: 1, AnchorNode: 0}
+	s := &job.Strand{ID: 1, Task: task, Kind: job.TaskStart, Spawn: 0, Start: 10, End: 20, Proc: 0}
+	rec.StrandSpawned(s)
+	rec.TaskEnded(task, 20)
+	if err := rec.ValidateSpaceBounded(m, 0.5); err == nil {
+		t.Fatal("oversized anchor accepted")
+	}
+}
+
+func TestValidatorRejectsStrandOutsideCluster(t *testing.T) {
+	m := machine.TwoSocket(2, 64<<10, 4<<10)
+	rec := trace.New()
+	task := &job.Task{ID: 1, SizeBytes: 1 << 10, AnchorLevel: 1, AnchorNode: 0}
+	// Proc 2 is on socket 1, outside anchor node 0.
+	s := &job.Strand{ID: 1, Task: task, Kind: job.TaskStart, Spawn: 0, Start: 10, End: 20, Proc: 2}
+	rec.StrandSpawned(s)
+	rec.TaskEnded(task, 20)
+	if err := rec.ValidateSpaceBounded(m, 0.5); err == nil {
+		t.Fatal("strand outside anchor cluster accepted")
+	}
+}
+
+func TestValidatorRejectsBoundOverflow(t *testing.T) {
+	m := machine.TwoSocket(2, 64<<10, 4<<10)
+	rec := trace.New()
+	// Two concurrent 40KB tasks anchored to the same 64KB L2 exceed M.
+	for id := uint64(1); id <= 2; id++ {
+		task := &job.Task{ID: id, SizeBytes: 40 << 10, AnchorLevel: 1, AnchorNode: 0}
+		s := &job.Strand{ID: id, Task: task, Kind: job.TaskStart, Spawn: 0, Start: 10, End: 100, Proc: 0}
+		rec.StrandSpawned(s)
+		rec.TaskEnded(task, 100)
+	}
+	if err := rec.ValidateSpaceBounded(m, 0.99); err == nil {
+		t.Fatal("bound overflow accepted")
+	} else if !strings.Contains(err.Error(), "bounded") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestValidatorRejectsPreemptionOverlap(t *testing.T) {
+	m := machine.TwoSocket(2, 64<<10, 4<<10)
+	rec := trace.New()
+	task := &job.Task{ID: 1, SizeBytes: 64, AnchorLevel: 0, AnchorNode: 0}
+	a := &job.Strand{ID: 1, Task: task, Spawn: 0, Start: 0, End: 50, Proc: 1}
+	b := &job.Strand{ID: 2, Task: task, Spawn: 0, Start: 25, End: 75, Proc: 1}
+	rec.StrandSpawned(a)
+	rec.StrandSpawned(b)
+	if err := rec.ValidateSchedule(m); err == nil {
+		t.Fatal("overlapping strands on one core accepted")
+	}
+}
+
+func TestValidatorRejectsStartBeforeSpawn(t *testing.T) {
+	m := machine.TwoSocket(2, 64<<10, 4<<10)
+	rec := trace.New()
+	task := &job.Task{ID: 1, SizeBytes: 64}
+	rec.StrandSpawned(&job.Strand{ID: 1, Task: task, Spawn: 100, Start: 50, End: 200, Proc: 0})
+	if err := rec.ValidateSchedule(m); err == nil {
+		t.Fatal("start-before-spawn accepted")
+	}
+}
+
+func TestMaxConcurrency(t *testing.T) {
+	rec, _ := runDC(t, sched.NewWS(), 2048)
+	mc := rec.MaxConcurrency()
+	if mc < 1 || mc > 4 {
+		t.Errorf("MaxConcurrency = %d, want within [1, cores=4]", mc)
+	}
+}
+
+func TestWorkSpanSerialChain(t *testing.T) {
+	// A purely serial chain (each strand forks exactly one child) has
+	// span == work.
+	m := machine.Flat(4, 1<<14)
+	sp := mem.NewSpace(1, 1)
+	var chain func(depth int) job.Job
+	chain = func(depth int) job.Job {
+		return job.FuncJob(func(ctx job.Ctx) {
+			ctx.Work(1000)
+			if depth > 0 {
+				ctx.Fork(nil, chain(depth-1))
+			}
+		})
+	}
+	rec := trace.New()
+	if _, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 1, Listener: rec}, chain(20)); err != nil {
+		t.Fatal(err)
+	}
+	w, d := rec.WorkSpan()
+	if w != d {
+		t.Errorf("serial chain: work %d != span %d", w, d)
+	}
+	if w < 21*1000 {
+		t.Errorf("work %d below charged cycles", w)
+	}
+	if p := rec.Parallelism(); p != 1 {
+		t.Errorf("serial parallelism = %v, want 1", p)
+	}
+}
+
+func TestWorkSpanParallelProgram(t *testing.T) {
+	// A wide parallel loop has parallelism well above 1 and span far
+	// below work.
+	m := machine.Flat(8, 1<<16)
+	sp := mem.NewSpace(1, 1)
+	root := job.For(0, 256, 1, nil, func(ctx job.Ctx, i int) { ctx.Work(2000) })
+	rec := trace.New()
+	if _, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 2, Listener: rec}, root); err != nil {
+		t.Fatal(err)
+	}
+	w, d := rec.WorkSpan()
+	if d >= w/8 {
+		t.Errorf("span %d not far below work %d for a 256-wide loop", d, w)
+	}
+	if p := rec.Parallelism(); p < 8 {
+		t.Errorf("parallelism = %.1f, want >= 8", p)
+	}
+}
+
+func TestParallelismEmptyTrace(t *testing.T) {
+	if p := trace.New().Parallelism(); p != 1 {
+		t.Errorf("empty trace parallelism = %v", p)
+	}
+}

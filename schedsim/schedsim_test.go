@@ -1,0 +1,71 @@
+package schedsim_test
+
+import (
+	"testing"
+
+	"repro/schedsim"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m := schedsim.ScaledXeon7560HT(256)
+	s := &schedsim.Session{Machine: m, Seed: 1}
+	var misses []int64
+	for _, sch := range []string{"ws", "sb"} {
+		res, err := s.RunKernel(sch, "rrm", schedsim.BenchOpts{N: 30000, Cutoff: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		misses = append(misses, res.L3Misses())
+	}
+	if misses[1] >= misses[0] {
+		t.Errorf("SB misses (%d) not below WS (%d)", misses[1], misses[0])
+	}
+}
+
+func TestCustomProgramThroughFacade(t *testing.T) {
+	m, err := schedsim.MachineByName("4x2", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := schedsim.NewSpace(m, 0)
+	arr := sp.NewF64("xs", 4096)
+	root := schedsim.For(0, arr.Len(), 64,
+		func(lo, hi int) int64 { return int64(hi-lo) * 8 },
+		func(ctx schedsim.Ctx, i int) { arr.Write(ctx, i, float64(i)) })
+	res, err := schedsim.Run(m, sp, "sbd", 7, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles <= 0 {
+		t.Error("no time simulated")
+	}
+	for i, v := range arr.Data {
+		if v != float64(i) {
+			t.Fatalf("element %d = %v", i, v)
+		}
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	if schedsim.Xeon7560().NumCores() != 32 {
+		t.Error("Xeon7560 wrong")
+	}
+	if schedsim.Xeon7560HT().NumCores() != 64 {
+		t.Error("Xeon7560HT wrong")
+	}
+	if schedsim.NewScheduler("sb") == nil || schedsim.NewScheduler("zzz") != nil {
+		t.Error("NewScheduler lookup wrong")
+	}
+	if schedsim.NewSB(0.7, 0.2).Name() != "SB" || schedsim.NewSBD(0.5, 0.2).Name() != "SB-D" {
+		t.Error("SB constructors wrong")
+	}
+	if len(schedsim.Benchmarks()) != 7 {
+		t.Errorf("Benchmarks = %v", schedsim.Benchmarks())
+	}
+	if len(schedsim.SchedulerNames()) != 6 {
+		t.Errorf("SchedulerNames = %v", schedsim.SchedulerNames())
+	}
+	if schedsim.DefaultSigma != 0.5 || schedsim.DefaultMu != 0.2 {
+		t.Error("default parameters drifted from the paper")
+	}
+}
