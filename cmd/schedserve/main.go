@@ -1,0 +1,191 @@
+// Command schedserve runs the online serving simulation: jobs arrive over
+// simulated time (open-loop Poisson, closed-loop, or from a trace file),
+// pass an admission policy, and execute concurrently on the PMH under the
+// chosen scheduler. It prints per-scheduler tail-latency summaries and can
+// export a full rate sweep as CSV.
+//
+// Examples:
+//
+//	schedserve -sched ws -rate 2000 -duration 0.02
+//	schedserve -sched ws,sb -workload rrm:2000,quicksort:3000 -rate 5000 -admission queue:8:32
+//	schedserve -sched sb -closed 4 -jobs 40 -think 100000
+//	schedserve -sched ws -tracefile arrivals.txt
+//	schedserve -sched ws,pws,sb,sbd -sweep 100,1000,10000,100000 -csv sat.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "4x2", "machine preset (xeon7560, xeon7560ht, 4x<n>[ht], flat<n>) or JSON file")
+		scale       = flag.Int64("scale", 64, "divide cache sizes by this factor (1 = full size)")
+		schedList   = flag.String("sched", "ws,sb", "comma-separated schedulers: ws|pws|cilk|sb|sbd")
+		workload    = flag.String("workload", "rrm:20000,quicksort:30000", "job mix: kernel:n[:weight],...")
+		rate        = flag.Float64("rate", 1000, "open-loop arrival rate, jobs per simulated second")
+		duration    = flag.Float64("duration", 0.05, "simulated horizon in seconds for open-loop arrivals")
+		maxJobs     = flag.Int("maxjobs", 0, "cap on generated arrivals (0 = horizon only)")
+		closed      = flag.Int("closed", 0, "closed-loop concurrency (overrides -rate/-duration when > 0)")
+		jobs        = flag.Int("jobs", 32, "total jobs for closed-loop mode")
+		think       = flag.Int64("think", 0, "closed-loop think time in cycles between completion and next request")
+		traceFile   = flag.String("tracefile", "", "replay arrivals from a trace file: lines of '<cycle> <kernel> <n> [seed]'")
+		admission   = flag.String("admission", "always", "admission policy: always | queue:<inflight>:<cap> | token:<interval>:<burst>")
+		links       = flag.Int("links", 0, "DRAM links to use (bandwidth; 0 = all)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		sample      = flag.Int64("sample", 0, "record queue depth and cache occupancy every this many cycles (0 = off)")
+		sweep       = flag.String("sweep", "", "comma-separated rates for a saturation sweep (overrides single-run mode)")
+		csvPath     = flag.String("csv", "", "write results to this CSV file (sweep mode)")
+		verbose     = flag.Bool("v", false, "also print per-job lifecycle records")
+	)
+	flag.Parse()
+
+	m, err := core.MachineByName(*machineName, *scale)
+	if err != nil {
+		fail(err)
+	}
+	mix, err := serve.ParseMix(*workload)
+	if err != nil {
+		fail(err)
+	}
+	scheds := splitList(*schedList)
+	if len(scheds) == 0 {
+		fail(fmt.Errorf("no schedulers given"))
+	}
+	if *sweep == "" && *traceFile == "" && *closed <= 0 {
+		if *rate <= 0 {
+			fail(fmt.Errorf("-rate must be > 0 (got %g)", *rate))
+		}
+		if *duration <= 0 && *maxJobs <= 0 {
+			fail(fmt.Errorf("open-loop arrivals need -duration > 0 or -maxjobs > 0"))
+		}
+	}
+
+	if *sweep != "" {
+		rates, err := parseRates(*sweep)
+		if err != nil {
+			fail(err)
+		}
+		points, err := exp.SaturationSweep(exp.SaturationConfig{
+			Machine:     m,
+			Schedulers:  scheds,
+			RatesPerSec: rates,
+			DurationSec: *duration,
+			MaxJobs:     *maxJobs,
+			Mix:         mix,
+			Admission:   *admission,
+			Seed:        *seed,
+			SampleEvery: *sample,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("machine: %s\nworkload: %s\n", m, mix)
+		for _, p := range points {
+			r := p.Report
+			fmt.Printf("%-5s rate=%-9g p50=%.6fs p99=%.6fs drops=%d queued=%d tput=%.4g/s\n",
+				p.Scheduler, p.RatePerSec, r.Seconds(r.Latency.P50), r.Seconds(r.Latency.P99),
+				r.Dropped, r.StillQueued, r.ThroughputPerSec)
+		}
+		if *csvPath != "" {
+			if err := exp.WriteSaturationCSV(*csvPath, points); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *csvPath)
+		}
+		return
+	}
+
+	fmt.Printf("machine: %s\n", m)
+	if *traceFile == "" {
+		fmt.Printf("workload: %s\n", mix)
+	} else {
+		fmt.Printf("workload: trace %s\n", *traceFile)
+	}
+	for _, sc := range scheds {
+		// Arrival processes and admission policies are stateful: build
+		// fresh ones per scheduler so every run sees the same stream.
+		var arr serve.ArrivalProcess
+		switch {
+		case *traceFile != "":
+			tr, err := serve.LoadTrace(*traceFile, *seed)
+			if err != nil {
+				fail(err)
+			}
+			arr = tr
+		case *closed > 0:
+			arr = serve.NewClosedLoop(serve.ClosedLoopConfig{
+				Concurrency: *closed, TotalJobs: *jobs, Think: *think, Mix: mix, Seed: *seed,
+			})
+		default:
+			arr = serve.NewPoisson(serve.PoissonConfig{
+				MeanGap: exp.MeanGapFor(m, *rate),
+				Horizon: int64(*duration * m.ClockGHz * 1e9),
+				MaxJobs: *maxJobs,
+				Mix:     mix,
+				Seed:    *seed,
+			})
+		}
+		adm, err := serve.ParseAdmission(*admission)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := serve.Run(serve.Config{
+			Machine:     m,
+			Scheduler:   sc,
+			Arrivals:    arr,
+			Admission:   adm,
+			Seed:        *seed,
+			LinksUsed:   *links,
+			SampleEvery: *sample,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+		if *verbose {
+			for _, j := range rep.Jobs {
+				fmt.Printf("  job %-4d %-28s arr=%-12d adm=%-12d start=%-12d end=%-12d drop=%v\n",
+					j.Tag, j.Spec, j.Arrival, j.Admitted, j.Start, j.End, j.Dropped)
+			}
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q in sweep", f)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "schedserve: %v\n", err)
+	os.Exit(1)
+}

@@ -85,20 +85,24 @@ func (s *Session) RunJob(schedName string, sp *mem.Space, root job.Job) (*RunRes
 
 // space builds the session's address space.
 func (s *Session) space() *mem.Space {
-	links := s.LinksUsed
-	if links == 0 {
-		links = s.Machine.Links
+	return SpaceFor(s.Machine, s.LinksUsed, s.PageSize)
+}
+
+// SpaceFor builds an address space for machine m using linksUsed DRAM
+// links (0 = all) at the given placement page size (0 = proportional
+// default: 2MB hugepages go with a 24MB L3; keep the same ratio on scaled
+// machines, clamped to [4KB, 2MB]).
+func SpaceFor(m *machine.Desc, linksUsed int, pageSize int64) *mem.Space {
+	if linksUsed <= 0 {
+		linksUsed = m.Links
 	}
-	ps := s.PageSize
-	if ps == 0 {
-		// Proportional default: 2MB hugepages go with a 24MB L3; keep the
-		// same ratio on scaled machines, clamped to [4KB, 2MB].
-		ps = 1 << 12
-		for ps < 2<<20 && ps*12 < s.Machine.Levels[1].Size {
-			ps <<= 1
+	if pageSize == 0 {
+		pageSize = 1 << 12
+		for pageSize < 2<<20 && pageSize*12 < m.Levels[1].Size {
+			pageSize <<= 1
 		}
 	}
-	return mem.NewSpacePaged(s.Machine.Links, links, ps)
+	return mem.NewSpacePaged(m.Links, linksUsed, pageSize)
 }
 
 // BenchOpts sizes a named benchmark; zero fields take benchmark defaults.

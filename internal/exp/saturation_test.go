@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/serve"
+)
+
+func saturationMix(t *testing.T) *serve.Mix {
+	t.Helper()
+	m, err := serve.NewMix(serve.MixEntry{Kernel: "rrm", N: 1500, Weight: 1})
+	if err != nil {
+		t.Fatalf("NewMix: %v", err)
+	}
+	return m
+}
+
+// TestSaturationSweepP99Monotone checks the sweep's defining property: as
+// the offered rate climbs from idle to past saturation, the p99 latency
+// must not decrease for any scheduler.
+func TestSaturationSweepP99Monotone(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	rates := []float64{50, 5_000, 500_000} // idle → busy → far past saturation
+	points, err := SaturationSweep(SaturationConfig{
+		Machine:     m,
+		Schedulers:  []string{"ws", "sb"},
+		RatesPerSec: rates,
+		MaxJobs:     10,
+		Mix:         saturationMix(t),
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatalf("SaturationSweep: %v", err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("want 2x3 points, got %d", len(points))
+	}
+	p99 := map[string][]float64{}
+	for _, p := range points {
+		if p.Report.Completed != p.Report.Arrivals {
+			t.Errorf("%s at %g jobs/s: %d of %d completed (open loop, always admit: all must finish)",
+				p.Scheduler, p.RatePerSec, p.Report.Completed, p.Report.Arrivals)
+		}
+		p99[p.Scheduler] = append(p99[p.Scheduler], p.Report.Latency.P99)
+	}
+	for sc, xs := range p99 {
+		for i := 1; i < len(xs); i++ {
+			if xs[i] < xs[i-1] {
+				t.Errorf("%s: p99 decreased from %.0f to %.0f cycles between rate %g and %g",
+					sc, xs[i-1], xs[i], rates[i-1], rates[i])
+			}
+		}
+	}
+}
+
+func TestSaturationSweepValidation(t *testing.T) {
+	m := machine.TwoSocket(2, 1<<16, 1<<12)
+	mix := saturationMix(t)
+	bad := []SaturationConfig{
+		{Schedulers: []string{"ws"}, RatesPerSec: []float64{1}, MaxJobs: 1, Mix: mix},
+		{Machine: m, Schedulers: []string{"ws"}, RatesPerSec: []float64{1}, MaxJobs: 1},
+		{Machine: m, RatesPerSec: []float64{1}, MaxJobs: 1, Mix: mix},
+		{Machine: m, Schedulers: []string{"ws"}, MaxJobs: 1, Mix: mix},
+		{Machine: m, Schedulers: []string{"ws"}, RatesPerSec: []float64{1}, Mix: mix},
+		{Machine: m, Schedulers: []string{"ws"}, RatesPerSec: []float64{-2}, MaxJobs: 1, Mix: mix},
+	}
+	for i, cfg := range bad {
+		if _, err := SaturationSweep(cfg); err == nil {
+			t.Errorf("config %d should have been rejected", i)
+		}
+	}
+}
+
+func TestWriteSaturationCSV(t *testing.T) {
+	m := machine.TwoSocket(2, 1<<16, 1<<12)
+	points, err := SaturationSweep(SaturationConfig{
+		Machine:     m,
+		Schedulers:  []string{"ws"},
+		RatesPerSec: []float64{100},
+		MaxJobs:     3,
+		Mix:         saturationMix(t),
+		Admission:   "queue:4:8",
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatalf("SaturationSweep: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "sat.csv")
+	if err := WriteSaturationCSV(path, points); err != nil {
+		t.Fatalf("WriteSaturationCSV: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("reading back CSV: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want header + 1 row, got %d rows", len(rows))
+	}
+	if rows[1][0] != "ws" || rows[1][1] != "100" {
+		t.Errorf("unexpected first row: %v", rows[1])
+	}
+}

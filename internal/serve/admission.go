@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Admission decides, at each arrival, whether a job is dispatched into
+// the simulation, parked in the wait queue, or dropped. Implementations
+// are called on the engine goroutine in simulated-time order and must be
+// deterministic; they are single-use (construct fresh per run).
+type Admission interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Admit reports whether a job arriving (or released from the wait
+	// queue) at now may be dispatched, given inFlight admitted-but-
+	// unfinished jobs. A policy consuming budget (e.g. a token bucket)
+	// spends it on a true return.
+	Admit(now int64, inFlight int) bool
+	// QueueCap is the capacity of the wait queue for refused jobs: 0
+	// drops them immediately, negative means unbounded. Queued jobs are
+	// re-offered to Admit at every completion.
+	QueueCap() int
+}
+
+// --- always-admit ----------------------------------------------------------
+
+type alwaysAdmit struct{}
+
+// AlwaysAdmit returns the policy that dispatches every arrival
+// immediately — pure open-loop load, no protection.
+func AlwaysAdmit() Admission { return alwaysAdmit{} }
+
+func (alwaysAdmit) Name() string          { return "always" }
+func (alwaysAdmit) Admit(int64, int) bool { return true }
+func (alwaysAdmit) QueueCap() int         { return 0 }
+
+// --- bounded queue ---------------------------------------------------------
+
+// BoundedQueue caps the number of jobs in flight; refused arrivals wait in
+// a FIFO queue of bounded length and are dropped once it is full — the
+// classic bounded-buffer admission controller.
+type BoundedQueue struct {
+	MaxInFlight int
+	MaxQueue    int
+}
+
+// NewBoundedQueue returns a bounded-queue policy admitting at most
+// maxInFlight concurrent jobs and queueing at most maxQueue more
+// (maxQueue < 0 = unbounded queue).
+func NewBoundedQueue(maxInFlight, maxQueue int) *BoundedQueue {
+	if maxInFlight < 1 {
+		panic("serve: BoundedQueue requires MaxInFlight >= 1")
+	}
+	return &BoundedQueue{MaxInFlight: maxInFlight, MaxQueue: maxQueue}
+}
+
+// Name implements Admission.
+func (b *BoundedQueue) Name() string { return fmt.Sprintf("queue(%d,%d)", b.MaxInFlight, b.MaxQueue) }
+
+// Admit implements Admission.
+func (b *BoundedQueue) Admit(_ int64, inFlight int) bool { return inFlight < b.MaxInFlight }
+
+// QueueCap implements Admission.
+func (b *BoundedQueue) QueueCap() int { return b.MaxQueue }
+
+// --- token bucket ----------------------------------------------------------
+
+// TokenBucket polices the arrival rate: one token accrues every Interval
+// cycles up to Burst, each admitted job spends one, and arrivals finding
+// the bucket empty are dropped (policing, not shaping — no queue).
+type TokenBucket struct {
+	Interval int64
+	Burst    int64
+
+	tokens int64
+	last   int64
+}
+
+// NewTokenBucket returns a token-bucket policy refilling one token per
+// interval cycles with the given burst capacity; the bucket starts full.
+func NewTokenBucket(interval int64, burst int) *TokenBucket {
+	if interval < 1 || burst < 1 {
+		panic("serve: TokenBucket requires Interval >= 1 and Burst >= 1")
+	}
+	return &TokenBucket{Interval: interval, Burst: int64(burst), tokens: int64(burst)}
+}
+
+// Name implements Admission.
+func (t *TokenBucket) Name() string { return fmt.Sprintf("token(%d,%d)", t.Interval, t.Burst) }
+
+// Admit implements Admission.
+func (t *TokenBucket) Admit(now int64, _ int) bool {
+	if now > t.last {
+		n := (now - t.last) / t.Interval
+		t.tokens += n
+		if t.tokens >= t.Burst {
+			t.tokens = t.Burst
+			t.last = now
+		} else {
+			t.last += n * t.Interval
+		}
+	}
+	if t.tokens > 0 {
+		t.tokens--
+		return true
+	}
+	return false
+}
+
+// QueueCap implements Admission.
+func (t *TokenBucket) QueueCap() int { return 0 }
+
+// ParseAdmission parses an admission-policy spec:
+//
+//	always                 admit everything
+//	queue:<inflight>:<cap> bounded in-flight with a wait queue (cap<0 = unbounded)
+//	token:<interval>:<burst> token bucket, one token per interval cycles
+func ParseAdmission(s string) (Admission, error) {
+	fields := strings.Split(strings.TrimSpace(s), ":")
+	switch fields[0] {
+	case "always", "":
+		return AlwaysAdmit(), nil
+	case "queue":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("serve: want queue:<inflight>:<cap>, got %q", s)
+		}
+		inflight, err1 := strconv.Atoi(fields[1])
+		qcap, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || inflight < 1 {
+			return nil, fmt.Errorf("serve: bad queue policy %q", s)
+		}
+		return NewBoundedQueue(inflight, qcap), nil
+	case "token":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("serve: want token:<interval>:<burst>, got %q", s)
+		}
+		interval, err1 := strconv.ParseInt(fields[1], 10, 64)
+		burst, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || interval < 1 || burst < 1 {
+			return nil, fmt.Errorf("serve: bad token policy %q", s)
+		}
+		return NewTokenBucket(interval, burst), nil
+	}
+	return nil, fmt.Errorf("serve: unknown admission policy %q (have always, queue:<n>:<cap>, token:<interval>:<burst>)", s)
+}

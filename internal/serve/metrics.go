@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// JobRecord is the lifecycle of one request, all timestamps in simulated
+// cycles. Unreached stages are -1.
+type JobRecord struct {
+	Tag     uint64
+	Spec    JobSpec
+	Arrival int64
+	// Admitted is when admission dispatched the job to the scheduler
+	// (equal to Arrival unless the job waited in the admission queue).
+	Admitted int64
+	// Start is when the job's root strand first executed on a core.
+	Start int64
+	// End is when the job's root task (all descendants) completed.
+	End     int64
+	Dropped bool
+}
+
+// Completed reports whether the job ran to completion.
+func (r JobRecord) Completed() bool { return r.End >= 0 }
+
+// Latency is the end-to-end arrival→completion time.
+func (r JobRecord) Latency() int64 { return r.End - r.Arrival }
+
+// QueueDelay is the arrival→first-execution time: admission queueing plus
+// scheduler queueing.
+func (r JobRecord) QueueDelay() int64 { return r.Start - r.Arrival }
+
+// Service is the first-execution→completion time.
+func (r JobRecord) Service() int64 { return r.End - r.Start }
+
+// Sample is one point of the simulated-time series.
+type Sample struct {
+	Time int64
+	// Queued is the admission wait-queue depth; InFlight the number of
+	// admitted, unfinished jobs.
+	Queued, InFlight int
+	// L3Occ is the anchored+strand occupancy (bytes) of each outermost
+	// cache, recorded only under space-bounded schedulers.
+	L3Occ []int64
+}
+
+// Quantiles holds the tail summary of one latency-like metric, in cycles.
+type Quantiles struct {
+	P50, P95, P99, Mean, Max float64
+}
+
+func quantiles(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		P50:  stats.Percentile(xs, 50),
+		P95:  stats.Percentile(xs, 95),
+		P99:  stats.Percentile(xs, 99),
+		Mean: stats.Mean(xs),
+		Max:  stats.Max(xs),
+	}
+}
+
+// Report is the outcome of one serving run.
+type Report struct {
+	Scheduler string
+	Workload  string
+	Policy    string
+
+	// Arrivals counts every generated request; Admitted those dispatched
+	// into the simulation (immediately or after queueing); Dropped those
+	// refused; Completed those that finished. StillQueued is the
+	// admission-queue depth at drain — nonzero only if the policy
+	// stranded work (liveness violation under admissible load).
+	Arrivals, Admitted, Dropped, Completed, StillQueued int
+
+	// Latency is arrival→completion, QueueDelay arrival→first execution,
+	// Service first-execution→completion; cycles over completed jobs.
+	Latency, QueueDelay, Service Quantiles
+
+	// ThroughputPerSec is completed jobs per simulated second over the
+	// whole run (wall cycles at the machine clock).
+	ThroughputPerSec float64
+
+	Jobs    []JobRecord
+	Samples []Sample
+
+	// Result is the machine-level measurement of the whole serving run
+	// (time breakdown, cache misses, DRAM traffic).
+	Result *sim.Result
+}
+
+// Seconds converts cycles to seconds at the run's machine clock.
+func (r *Report) Seconds(cycles float64) float64 {
+	return cycles / (r.Result.Machine.ClockGHz * 1e9)
+}
+
+// String renders a compact summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s serving %s under %s: %d arrivals, %d admitted, %d dropped, %d completed",
+		r.Scheduler, r.Workload, r.Policy, r.Arrivals, r.Admitted, r.Dropped, r.Completed)
+	if r.StillQueued > 0 {
+		fmt.Fprintf(&b, ", %d STILL QUEUED", r.StillQueued)
+	}
+	fmt.Fprintf(&b, "\n  latency p50=%.6fs p95=%.6fs p99=%.6fs mean=%.6fs",
+		r.Seconds(r.Latency.P50), r.Seconds(r.Latency.P95), r.Seconds(r.Latency.P99), r.Seconds(r.Latency.Mean))
+	fmt.Fprintf(&b, "\n  queue-delay p50=%.6fs p99=%.6fs  service p50=%.6fs",
+		r.Seconds(r.QueueDelay.P50), r.Seconds(r.QueueDelay.P99), r.Seconds(r.Service.P50))
+	fmt.Fprintf(&b, "\n  throughput=%.4g jobs/s  wall=%.4fs  L3 misses=%d",
+		r.ThroughputPerSec, r.Result.WallSeconds(), r.Result.L3Misses())
+	return b.String()
+}
+
+// Fingerprint renders every deterministic observable of the run — each
+// job's full lifecycle, the quantile summaries, the sampled time series,
+// and the machine-level counters — into one canonical string. Two runs of
+// the same configuration must produce byte-identical fingerprints; the
+// determinism regression test relies on this.
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched=%s workload=%s policy=%s\n", r.Scheduler, r.Workload, r.Policy)
+	fmt.Fprintf(&b, "arrivals=%d admitted=%d dropped=%d completed=%d queued=%d\n",
+		r.Arrivals, r.Admitted, r.Dropped, r.Completed, r.StillQueued)
+	fmt.Fprintf(&b, "latency=%v queue=%v service=%v\n", r.Latency, r.QueueDelay, r.Service)
+	fmt.Fprintf(&b, "wall=%d l3=%d dram=%d stalls=%d strands=%d\n",
+		r.Result.WallCycles, r.Result.L3Misses(), r.Result.DRAMAccesses, r.Result.StallCycles, r.Result.Strands)
+	for _, j := range r.Jobs {
+		fmt.Fprintf(&b, "job %d %s arr=%d adm=%d start=%d end=%d drop=%v\n",
+			j.Tag, j.Spec, j.Arrival, j.Admitted, j.Start, j.End, j.Dropped)
+	}
+	for _, s := range r.Samples {
+		fmt.Fprintf(&b, "sample %d q=%d f=%d occ=%v\n", s.Time, s.Queued, s.InFlight, s.L3Occ)
+	}
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config describes one serving run.
+type Config struct {
+	// Machine is the PMH to serve on. Required.
+	Machine *machine.Desc
+	// Scheduler is the scheduler name ("ws", "pws", "sb", "sbd", ...).
+	Scheduler string
+	// Arrivals generates the request stream. Required, single-use.
+	Arrivals ArrivalProcess
+	// Admission gates dispatch; nil means AlwaysAdmit. Single-use.
+	Admission Admission
+	// Seed drives scheduler randomness.
+	Seed uint64
+	// Cost overrides the scheduler cost model (zero value = defaults).
+	Cost sched.CostModel
+	// LinksUsed restricts DRAM links (bandwidth); 0 = all.
+	LinksUsed int
+	// PageSize sets the DRAM-link placement granularity; 0 = proportional.
+	PageSize int64
+	// SampleEvery records a queue-depth/occupancy sample every so many
+	// cycles; 0 disables the time series.
+	SampleEvery int64
+	// MaxStrands aborts runaway runs; 0 = no limit.
+	MaxStrands uint64
+	// SkipVerify skips per-job output verification after the run.
+	SkipVerify bool
+}
+
+// jobState pairs a request's record with its (lazily built) kernel.
+type jobState struct {
+	rec JobRecord
+	k   kernels.Kernel
+}
+
+// server wires arrivals and admission to the engine: it is the sim.Source
+// of a serving run. All methods run on the engine goroutine.
+type server struct {
+	m   *machine.Desc
+	sp  *mem.Space
+	arr ArrivalProcess
+	adm Admission
+	// sb is set when the scheduler is space-bounded, for occupancy
+	// sampling.
+	sb *sched.SB
+
+	// head is the next arrival pulled from the process but not yet
+	// admitted/queued/dropped.
+	head *Arrival
+	// ready holds admitted jobs (tag, release time) awaiting engine
+	// pickup: arrivals admitted on the spot never pass through it, only
+	// wait-queue releases do.
+	ready []release
+	// queue holds tags of jobs parked by admission, FIFO.
+	queue    []uint64
+	inFlight int
+
+	jobs    []jobState
+	samples []Sample
+}
+
+type release struct {
+	tag  uint64
+	time int64
+}
+
+// peek pulls the next arrival from the process when none is buffered.
+func (s *server) peek() *Arrival {
+	if s.head == nil {
+		if a, ok := s.arr.Next(); ok {
+			s.head = &a
+		}
+	}
+	return s.head
+}
+
+// Pending implements sim.Source.
+func (s *server) Pending() (int64, bool) {
+	t, ok := int64(0), false
+	if len(s.ready) > 0 {
+		t, ok = s.ready[0].time, true
+	}
+	if a := s.peek(); a != nil && (!ok || a.Time < t) {
+		t, ok = a.Time, true
+	}
+	return t, ok
+}
+
+// Pop implements sim.Source: consume the earliest pending event — a
+// wait-queue release (dispatch), or an arrival (admit, park, or drop).
+func (s *server) Pop() (sim.Injection, bool) {
+	if len(s.ready) > 0 {
+		if a := s.peek(); a == nil || s.ready[0].time <= a.Time {
+			r := s.ready[0]
+			s.ready = s.ready[1:]
+			return s.dispatch(r.tag, r.time), true
+		}
+	}
+	a := *s.peek()
+	s.head = nil
+	tag := uint64(len(s.jobs))
+	s.jobs = append(s.jobs, jobState{rec: JobRecord{
+		Tag: tag, Spec: a.Spec, Arrival: a.Time, Admitted: -1, Start: -1, End: -1,
+	}})
+	if s.adm.Admit(a.Time, s.inFlight) {
+		s.inFlight++
+		return s.dispatch(tag, a.Time), true
+	}
+	if cap := s.adm.QueueCap(); cap < 0 || len(s.queue) < cap {
+		s.queue = append(s.queue, tag)
+		return sim.Injection{}, false
+	}
+	s.jobs[tag].rec.Dropped = true
+	return sim.Injection{}, false
+}
+
+// dispatch materializes the job's kernel in the shared address space and
+// hands its root to the engine.
+func (s *server) dispatch(tag uint64, now int64) sim.Injection {
+	st := &s.jobs[tag]
+	st.rec.Admitted = now
+	k, err := core.NewKernel(st.rec.Spec.Kernel, s.sp, s.m, core.BenchOpts{N: st.rec.Spec.N, Seed: st.rec.Spec.Seed})
+	if err != nil {
+		// Mix/trace validation makes this unreachable; the engine's
+		// recover turns it into a run error rather than a crash.
+		panic(fmt.Sprintf("serve: job %d: %v", tag, err))
+	}
+	st.k = k
+	return sim.Injection{Tag: tag, Job: k.Root()}
+}
+
+// Done implements sim.Source: record the completion, notify the arrival
+// process (closed-loop feedback), and release parked jobs the policy now
+// admits.
+func (s *server) Done(tag uint64, r sim.RootStats) {
+	st := &s.jobs[tag]
+	st.rec.Start = r.Start
+	st.rec.End = r.End
+	s.inFlight--
+	s.arr.JobDone(r.End)
+	for len(s.queue) > 0 && s.adm.Admit(r.End, s.inFlight) {
+		tag := s.queue[0]
+		s.queue = s.queue[1:]
+		s.inFlight++
+		s.ready = append(s.ready, release{tag: tag, time: r.End})
+	}
+}
+
+// sample records one time-series point; wired to sim.Config.Sampler.
+func (s *server) sample(now int64) {
+	smp := Sample{Time: now, Queued: len(s.queue), InFlight: s.inFlight}
+	if s.sb != nil {
+		for id := 0; id < s.m.NodesAt(1); id++ {
+			smp.L3Occ = append(smp.L3Occ, s.sb.Occupancy(1, id))
+		}
+	}
+	s.samples = append(s.samples, smp)
+}
+
+// Run executes one serving run to drain: all arrivals generated, admitted
+// jobs completed, outputs verified, metrics aggregated.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("serve: Config requires a Machine")
+	}
+	if cfg.Arrivals == nil {
+		return nil, fmt.Errorf("serve: Config requires an ArrivalProcess")
+	}
+	if cfg.Admission == nil {
+		cfg.Admission = AlwaysAdmit()
+	}
+	sc := sched.New(cfg.Scheduler)
+	if sc == nil {
+		return nil, fmt.Errorf("serve: unknown scheduler %q", cfg.Scheduler)
+	}
+	srv := &server{
+		m:   cfg.Machine,
+		sp:  core.SpaceFor(cfg.Machine, cfg.LinksUsed, cfg.PageSize),
+		arr: cfg.Arrivals,
+		adm: cfg.Admission,
+	}
+	if sb, ok := sc.(*sched.SB); ok {
+		srv.sb = sb
+	}
+	simCfg := sim.Config{
+		Machine:    cfg.Machine,
+		Space:      srv.sp,
+		Scheduler:  sc,
+		Cost:       cfg.Cost,
+		Seed:       cfg.Seed,
+		MaxStrands: cfg.MaxStrands,
+	}
+	if cfg.SampleEvery > 0 {
+		simCfg.Sampler = srv.sample
+		simCfg.SampleEvery = cfg.SampleEvery
+	}
+	res, err := sim.RunStream(simCfg, srv)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.SkipVerify {
+		for i := range srv.jobs {
+			st := &srv.jobs[i]
+			if st.k != nil && st.rec.Completed() {
+				if err := st.k.Verify(); err != nil {
+					return nil, fmt.Errorf("serve: job %d (%s) produced wrong output under %s: %w",
+						st.rec.Tag, st.rec.Spec, sc.Name(), err)
+				}
+			}
+		}
+	}
+	return srv.report(sc.Name(), res), nil
+}
+
+// report aggregates the run into a Report.
+func (s *server) report(schedName string, res *sim.Result) *Report {
+	r := &Report{
+		Scheduler:   schedName,
+		Workload:    s.arr.Name(),
+		Policy:      s.adm.Name(),
+		StillQueued: len(s.queue),
+		Samples:     s.samples,
+		Result:      res,
+	}
+	var lat, qd, svc []float64
+	for i := range s.jobs {
+		rec := s.jobs[i].rec
+		r.Jobs = append(r.Jobs, rec)
+		r.Arrivals++
+		switch {
+		case rec.Dropped:
+			r.Dropped++
+		case rec.Admitted >= 0:
+			r.Admitted++
+		}
+		if rec.Completed() {
+			r.Completed++
+			lat = append(lat, float64(rec.Latency()))
+			qd = append(qd, float64(rec.QueueDelay()))
+			svc = append(svc, float64(rec.Service()))
+		}
+	}
+	r.Latency = quantiles(lat)
+	r.QueueDelay = quantiles(qd)
+	r.Service = quantiles(svc)
+	if wall := res.WallSeconds(); wall > 0 {
+		r.ThroughputPerSec = float64(r.Completed) / wall
+	}
+	return r
+}

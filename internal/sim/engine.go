@@ -63,31 +63,47 @@ type Config struct {
 	Listener Listener
 	// MaxStrands aborts runaway programs; 0 means no limit.
 	MaxStrands uint64
+	// Sampler, if non-nil, is called on the engine goroutine every
+	// SampleEvery simulated cycles (at now = k*SampleEvery), letting the
+	// caller record time series (queue depths, cache occupancy) in
+	// simulated time.
+	Sampler func(now int64)
+	// SampleEvery is the sampling period in cycles; 0 disables sampling.
+	SampleEvery int64
 }
 
 // Run executes root to completion on the configured machine and scheduler
 // and returns the measured Result.
 func Run(cfg Config, root job.Job) (*Result, error) {
 	if cfg.Machine == nil || cfg.Space == nil || cfg.Scheduler == nil {
-		return nil, fmt.Errorf("sim: Config requires Machine, Space and Scheduler")
+		return nil, errConfig()
 	}
 	if err := cfg.Machine.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		return nil, errMachine(err)
 	}
+	normalizeCosts(&cfg)
+	e := newEngine(cfg)
+	defer e.shutdown()
+	return e.run(&oneShot{root: root})
+}
+
+func errConfig() error           { return fmt.Errorf("sim: Config requires Machine, Space and Scheduler") }
+func errMachine(err error) error { return fmt.Errorf("sim: %w", err) }
+func errNilSource() error        { return fmt.Errorf("sim: RunStream requires a Source") }
+
+// normalizeCosts fills cost-model defaults. An idle worker must advance
+// its clock or the event loop would spin on it forever; a chunk must be at
+// least one cycle.
+func normalizeCosts(cfg *Config) {
 	if cfg.Cost == (sched.CostModel{}) {
 		cfg.Cost = sched.DefaultCosts()
 	}
-	// An idle worker must advance its clock or the event loop would spin
-	// on it forever; a chunk must be at least one cycle.
 	if cfg.Cost.IdleBackoff < 1 {
 		cfg.Cost.IdleBackoff = 1
 	}
 	if cfg.Cost.ChunkCycles < 1 {
 		cfg.Cost.ChunkCycles = 1
 	}
-	e := newEngine(cfg)
-	defer e.shutdown()
-	return e.run(root)
 }
 
 type engine struct {
@@ -108,7 +124,16 @@ type engine struct {
 	curSpawner   *job.Strand
 	totalStrands uint64
 	liveStrands  int
-	rootEnded    bool
+	// liveRoots counts injected root tasks that have not yet completed;
+	// src is the injection source driving this run.
+	liveRoots int
+	src       Source
+	// roots tracks per-root bookkeeping for Source.Done callbacks. The map
+	// is only ever looked up by key (never iterated), so it cannot
+	// introduce iteration-order nondeterminism.
+	roots map[*job.Task]rootRec
+	// nextSample is the simulated time of the next Sampler callback.
+	nextSample int64
 
 	// curBucket attributes Env charges to the call-back being executed.
 	curBucket int
@@ -359,7 +384,11 @@ func (e *engine) maybeFinish(t *job.Task, w *worker) {
 		}
 		p := t.Parent
 		if p == nil {
-			e.rootEnded = true
+			e.liveRoots--
+			if rec, ok := e.roots[t]; ok {
+				delete(e.roots, t)
+				e.src.Done(rec.tag, RootStats{Enqueued: rec.enq, Start: rec.strand.Start, End: w.clock})
+			}
 			return
 		}
 		p.ChildPending--
@@ -375,28 +404,105 @@ func (e *engine) maybeFinish(t *job.Task, w *worker) {
 
 // --- main loop -------------------------------------------------------------
 
-func (e *engine) run(root job.Job) (res *Result, err error) {
+// rootRec is the per-injected-root bookkeeping for Source.Done.
+type rootRec struct {
+	tag    uint64
+	enq    int64
+	strand *job.Strand
+}
+
+// inject spawns one injected root task on behalf of w (the earliest
+// worker, taking the dispatch interrupt). The scheduler's Add cost is
+// charged to w under the add bucket, exactly like a fork-spawned strand.
+func (e *engine) inject(inj Injection, w *worker) {
+	t := e.newTask(nil, inj.Job)
+	e.liveRoots++
+	// A root strand has no spawning strand: it enters from outside the
+	// dependence DAG, so suppress the stale curSpawner.
+	saved := e.curSpawner
+	e.curSpawner = nil
+	s := e.newStrand(t, inj.Job, job.TaskStart, w.clock)
+	e.curSpawner = saved
+	if e.roots == nil {
+		e.roots = make(map[*job.Task]rootRec)
+	}
+	e.roots[t] = rootRec{tag: inj.Tag, enq: w.clock, strand: s}
+	e.spawn(s, w)
+}
+
+// fastForward advances every (idle) worker's clock to t, accounted as
+// empty-queue time. Only called when no strand is live or queued, so no
+// worker is mid-strand and nothing observable can happen in the gap.
+func (e *engine) fastForward(t int64) {
+	for _, w := range e.workers {
+		if w.clock < t {
+			w.timers[BucketEmpty] += t - w.clock
+			w.clock = t
+		}
+	}
+	e.heap.init(e.workers)
+}
+
+// sample fires Sampler callbacks for every period boundary up to now.
+func (e *engine) sample(now int64) {
+	for e.nextSample <= now {
+		e.cfg.Sampler(e.nextSample)
+		e.nextSample += e.cfg.SampleEvery
+	}
+}
+
+// run drives the event loop: always advance the earliest worker, folding
+// in the source's injection events in simulated-time order, until the
+// source is exhausted and every injected root has completed.
+func (e *engine) run(src Source) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sim: %v", r)
 		}
 	}()
 
-	rootTask := e.newTask(nil, root)
-	e.spawn(e.newStrand(rootTask, root, job.TaskStart, 0), e.workers[0])
-
+	e.src = src
+	if e.cfg.Sampler != nil && e.cfg.SampleEvery > 0 {
+		e.nextSample = e.cfg.SampleEvery
+	}
 	e.heap.init(e.workers)
-	for !e.rootEnded {
+	for {
+		t, pending := src.Pending()
+		if !pending && e.liveRoots == 0 {
+			break
+		}
 		w := e.heap.pop()
+		if e.cfg.Sampler != nil && e.cfg.SampleEvery > 0 {
+			e.sample(w.clock)
+		}
+		if pending {
+			if t > w.clock && e.liveStrands == 0 && e.liveRoots == 0 {
+				// The system is fully drained and the next arrival is in
+				// the future: collapse the idle gap in one step.
+				e.heap.push(w)
+				e.fastForward(t)
+				continue
+			}
+			if t <= w.clock {
+				if inj, ok := src.Pop(); ok {
+					e.inject(inj, w)
+				}
+				e.heap.push(w)
+				continue
+			}
+		}
 		e.step(w)
 		if e.err != nil {
 			return nil, e.err
 		}
 		e.heap.push(w)
-		if e.liveStrands == 0 && !e.rootEnded {
-			// Nothing queued, nothing running, root not done: the program
-			// awaits a future that can never complete.
-			return nil, fmt.Errorf("sim: deadlock — no runnable strands but the root task has not completed (unsatisfiable future await?)")
+		if e.liveStrands == 0 && e.liveRoots > 0 {
+			if _, ok := src.Pending(); !ok {
+				// Nothing queued, nothing running, no arrival coming, yet
+				// roots remain: a task awaits a future that can never
+				// complete.
+				return nil, fmt.Errorf("sim: deadlock — no runnable strands but %d root task(s) have not completed (unsatisfiable future await?)", e.liveRoots)
+			}
 		}
 	}
 	return e.collect(), nil

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// listSource injects a fixed schedule of root jobs and records completions.
+type listSource struct {
+	at   []int64
+	jobs []job.Job
+	i    int
+	done map[uint64]RootStats
+}
+
+func (l *listSource) Pending() (int64, bool) {
+	if l.i < len(l.at) {
+		return l.at[l.i], true
+	}
+	return 0, false
+}
+
+func (l *listSource) Pop() (Injection, bool) {
+	inj := Injection{Tag: uint64(l.i), Job: l.jobs[l.i]}
+	l.i++
+	return inj, true
+}
+
+func (l *listSource) Done(tag uint64, r RootStats) {
+	if l.done == nil {
+		l.done = make(map[uint64]RootStats)
+	}
+	l.done[tag] = r
+}
+
+// mapJob builds a sized parallel map writing i*mult into its array.
+func mapJob(arr mem.F64, mult float64) job.Job {
+	size := func(lo, hi int) int64 { return int64(hi-lo) * 8 }
+	return job.For(0, arr.Len(), 64, size, func(ctx job.Ctx, i int) {
+		arr.Write(ctx, i, float64(i)*mult)
+	})
+}
+
+func TestRunStreamSingleRootMatchesRun(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	for _, name := range allSchedulers() {
+		run := func(stream bool) *Result {
+			sp := mem.NewSpace(m.Links, m.Links)
+			arr := sp.NewF64("xs", 2048)
+			cfg := Config{Machine: m, Space: sp, Scheduler: sched.New(name), Seed: 11}
+			var res *Result
+			var err error
+			if stream {
+				res, err = RunStream(cfg, &listSource{at: []int64{0}, jobs: []job.Job{mapJob(arr, 2)}})
+			} else {
+				res, err = Run(cfg, mapJob(arr, 2))
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return res
+		}
+		a, b := run(false), run(true)
+		if a.WallCycles != b.WallCycles || a.L3Misses() != b.L3Misses() || a.Strands != b.Strands {
+			t.Errorf("%s: RunStream single root diverges from Run: wall %d vs %d, L3 %d vs %d, strands %d vs %d",
+				name, a.WallCycles, b.WallCycles, a.L3Misses(), b.L3Misses(), a.Strands, b.Strands)
+		}
+		for i := range a.Workers {
+			if a.Workers[i] != b.Workers[i] {
+				t.Errorf("%s: worker %d timers differ between Run and RunStream", name, i)
+			}
+		}
+	}
+}
+
+func TestRunStreamConcurrentRootsAllSchedulers(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	const jobs = 5
+	for _, name := range allSchedulers() {
+		sp := mem.NewSpace(m.Links, m.Links)
+		arrs := make([]mem.F64, jobs)
+		roots := make([]job.Job, jobs)
+		at := make([]int64, jobs)
+		for j := 0; j < jobs; j++ {
+			arrs[j] = sp.NewF64("xs", 1024)
+			roots[j] = mapJob(arrs[j], float64(j+1))
+			at[j] = int64(j) * 500 // overlapping arrivals: jobs coexist
+		}
+		src := &listSource{at: at, jobs: roots}
+		res, err := RunStream(Config{Machine: m, Space: sp, Scheduler: sched.New(name), Seed: 3}, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(src.done) != jobs {
+			t.Fatalf("%s: %d completions, want %d", name, len(src.done), jobs)
+		}
+		for j := 0; j < jobs; j++ {
+			r := src.done[uint64(j)]
+			if r.Enqueued < at[j] || r.Start < r.Enqueued || r.End <= r.Start {
+				t.Errorf("%s job %d: inconsistent lifecycle enq=%d start=%d end=%d (arrival %d)",
+					name, j, r.Enqueued, r.Start, r.End, at[j])
+			}
+			if r.End > res.WallCycles {
+				t.Errorf("%s job %d: end %d past wall %d", name, j, r.End, res.WallCycles)
+			}
+			for i, v := range arrs[j].Data {
+				if v != float64(i)*float64(j+1) {
+					t.Fatalf("%s job %d: element %d = %v, want %v", name, j, i, v, float64(i)*float64(j+1))
+				}
+			}
+		}
+	}
+}
+
+func TestRunStreamConcurrentRootsAnchorIndependently(t *testing.T) {
+	// Two annotated jobs that each fit a socket L2 must anchor as separate
+	// maximal tasks under SB, and all anchored space must be released by
+	// the time the stream drains.
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	sb := sched.NewSB(sched.DefaultSigma, sched.DefaultMu)
+	sp := mem.NewSpace(m.Links, m.Links)
+	a := sp.NewF64("a", 512)
+	b := sp.NewF64("b", 512)
+	src := &listSource{at: []int64{0, 0}, jobs: []job.Job{mapJob(a, 3), mapJob(b, 5)}}
+	if _, err := RunStream(Config{Machine: m, Space: sp, Scheduler: sb, Seed: 9}, src); err != nil {
+		t.Fatal(err)
+	}
+	var anchors int64
+	for _, n := range sb.Anchors {
+		anchors += n
+	}
+	if anchors < 2 {
+		t.Errorf("SB anchored %d tasks across two concurrent roots, want >= 2", anchors)
+	}
+	for lvl := 1; lvl <= m.CacheLevels(); lvl++ {
+		for id := 0; id < m.NodesAt(lvl); id++ {
+			if occ := sb.Occupancy(lvl, id); occ != 0 {
+				t.Errorf("cache (%d,%d) still holds %d bytes after drain", lvl, id, occ)
+			}
+		}
+	}
+}
+
+func TestRunStreamFastForwardsIdleGaps(t *testing.T) {
+	// A huge gap between two tiny jobs must be collapsed, not idle-spun:
+	// the run finishes, wall covers the gap, and the gap is accounted as
+	// empty-queue time.
+	m := machine.Flat(2, 1<<16)
+	sp := mem.NewSpace(m.Links, m.Links)
+	a := sp.NewF64("a", 256)
+	b := sp.NewF64("b", 256)
+	const gap = int64(1) << 40
+	src := &listSource{at: []int64{0, gap}, jobs: []job.Job{mapJob(a, 2), mapJob(b, 4)}}
+	res, err := RunStream(Config{Machine: m, Space: sp, Scheduler: sched.New("ws"), Seed: 1}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles < gap {
+		t.Fatalf("wall %d does not cover the arrival gap %d", res.WallCycles, gap)
+	}
+	for i, w := range res.Workers {
+		if w.Buckets[BucketEmpty] < gap/2 {
+			t.Errorf("worker %d empty time %d does not account for the idle gap", i, w.Buckets[BucketEmpty])
+		}
+	}
+}
+
+func TestRunStreamSamplerFiresOnSchedule(t *testing.T) {
+	m := machine.Flat(2, 1<<16)
+	sp := mem.NewSpace(m.Links, m.Links)
+	arr := sp.NewF64("xs", 4096)
+	var ticks []int64
+	const every = int64(10_000)
+	res, err := RunStream(Config{
+		Machine: m, Space: sp, Scheduler: sched.New("ws"), Seed: 1,
+		Sampler: func(now int64) { ticks = append(ticks, now) }, SampleEvery: every,
+	}, &listSource{at: []int64{0}, jobs: []job.Job{mapJob(arr, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) == 0 {
+		t.Fatalf("sampler never fired over %d wall cycles", res.WallCycles)
+	}
+	for i, now := range ticks {
+		if now != every*int64(i+1) {
+			t.Fatalf("tick %d at %d, want %d", i, now, every*int64(i+1))
+		}
+	}
+}

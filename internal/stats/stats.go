@@ -89,6 +89,30 @@ func Median(xs []float64) float64 {
 	return (cp[n/2-1] + cp[n/2]) / 2
 }
 
+// Percentile returns the p-th percentile of xs (p in [0,100], clamped) by
+// the nearest-rank method: the smallest element with at least ⌈p/100·n⌉
+// elements at or below it. It does not modify xs and yields NaN for an
+// empty slice. Percentile(xs, 50) is the nearest-rank median; the serving
+// experiments report p50/p95/p99 latencies with it.
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return cp[rank-1]
+}
+
 // PercentChange returns 100*(to-from)/from: negative means "to" is smaller.
 // A zero baseline yields NaN rather than Inf so tables stay readable.
 func PercentChange(from, to float64) float64 {

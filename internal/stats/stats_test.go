@@ -129,3 +129,45 @@ func TestSummarizePanicsOnEmpty(t *testing.T) {
 	}()
 	Summarize(nil)
 }
+
+func TestPercentile(t *testing.T) {
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	hundred := make([]float64, 100)
+	for i := range hundred {
+		hundred[i] = float64(i + 1)
+	}
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p50-ten", ten, 50, 5},
+		{"p95-ten", ten, 95, 10},
+		{"p99-ten", ten, 99, 10},
+		{"p0-ten", ten, 0, 1},
+		{"p100-ten", ten, 100, 10},
+		{"p50-hundred", hundred, 50, 50},
+		{"p95-hundred", hundred, 95, 95},
+		{"p99-hundred", hundred, 99, 99},
+		{"clamp-low", ten, -5, 1},
+		{"clamp-high", ten, 250, 10},
+		{"single", []float64{42}, 99, 42},
+		{"unsorted", []float64{9, 1, 5, 3, 7}, 50, 5},
+		{"duplicates", []float64{2, 2, 2, 8}, 75, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.xs, c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.xs, c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil, 50) is not NaN")
+	}
+	// Percentile must not reorder its input.
+	xs := []float64{9, 1, 5}
+	Percentile(xs, 99)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}

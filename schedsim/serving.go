@@ -1,0 +1,72 @@
+package schedsim
+
+import (
+	"repro/internal/serve"
+)
+
+// Online serving (job streams, admission control, tail latency).
+type (
+	// ServeConfig configures one serving run: machine, scheduler, arrival
+	// process and admission policy.
+	ServeConfig = serve.Config
+	// ServeReport is the outcome: per-request records, tail-latency
+	// quantiles, drop counts and the machine-level measurement.
+	ServeReport = serve.Report
+	// ArrivalProcess generates the request stream.
+	ArrivalProcess = serve.ArrivalProcess
+	// Admission decides dispatch, queueing or dropping per arrival.
+	Admission = serve.Admission
+	// JobSpec names one request's kernel, size and input seed.
+	JobSpec = serve.JobSpec
+	// Arrival is one timestamped request.
+	Arrival = serve.Arrival
+	// JobRecord is one request's full lifecycle in cycles.
+	JobRecord = serve.JobRecord
+	// Mix is a weighted workload mix drawn from per arrival.
+	Mix = serve.Mix
+	// MixEntry is one (kernel, size, weight) component of a Mix.
+	MixEntry = serve.MixEntry
+	// PoissonConfig parameterizes open-loop Poisson arrivals.
+	PoissonConfig = serve.PoissonConfig
+	// ClosedLoopConfig parameterizes fixed-concurrency arrivals.
+	ClosedLoopConfig = serve.ClosedLoopConfig
+)
+
+// Serve executes one serving run to drain and returns its report.
+func Serve(cfg ServeConfig) (*ServeReport, error) { return serve.Run(cfg) }
+
+// NewMix builds a validated workload mix.
+func NewMix(entries ...MixEntry) (*Mix, error) { return serve.NewMix(entries...) }
+
+// ParseMix parses "kernel:n[:weight],..." into a Mix.
+func ParseMix(s string) (*Mix, error) { return serve.ParseMix(s) }
+
+// NewPoisson returns an open-loop Poisson arrival process.
+func NewPoisson(cfg PoissonConfig) ArrivalProcess { return serve.NewPoisson(cfg) }
+
+// NewClosedLoop returns a fixed-concurrency arrival process.
+func NewClosedLoop(cfg ClosedLoopConfig) ArrivalProcess { return serve.NewClosedLoop(cfg) }
+
+// LoadTrace reads a trace file ('<cycle> <kernel> <n> [seed]' lines) and
+// returns a replaying arrival process.
+func LoadTrace(path string, defaultSeed uint64) (ArrivalProcess, error) {
+	return serve.LoadTrace(path, defaultSeed)
+}
+
+// AlwaysAdmit dispatches every arrival immediately.
+func AlwaysAdmit() Admission { return serve.AlwaysAdmit() }
+
+// NewBoundedQueue caps jobs in flight with a bounded FIFO wait queue.
+func NewBoundedQueue(maxInFlight, maxQueue int) Admission {
+	return serve.NewBoundedQueue(maxInFlight, maxQueue)
+}
+
+// NewTokenBucket polices the arrival rate: one token per interval cycles,
+// up to burst; arrivals finding the bucket empty are dropped.
+func NewTokenBucket(interval int64, burst int) Admission {
+	return serve.NewTokenBucket(interval, burst)
+}
+
+// ParseAdmission parses "always", "queue:<inflight>:<cap>" or
+// "token:<interval>:<burst>".
+func ParseAdmission(s string) (Admission, error) { return serve.ParseAdmission(s) }

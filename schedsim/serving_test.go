@@ -1,0 +1,65 @@
+package schedsim_test
+
+import (
+	"testing"
+
+	"repro/schedsim"
+)
+
+func TestServeThroughFacade(t *testing.T) {
+	m, err := schedsim.MachineByName("4x2", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := schedsim.ParseMix("rrm:2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, err := schedsim.ParseAdmission("queue:4:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := schedsim.Serve(schedsim.ServeConfig{
+		Machine:   m,
+		Scheduler: "sb",
+		Arrivals: schedsim.NewPoisson(schedsim.PoissonConfig{
+			MeanGap: 100_000,
+			MaxJobs: 5,
+			Mix:     mix,
+			Seed:    3,
+		}),
+		Admission: adm,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if rep.Completed != 5 || rep.StillQueued != 0 {
+		t.Fatalf("want 5 completed and an empty queue, got %s", rep)
+	}
+	if rep.Latency.P99 <= 0 {
+		t.Errorf("p99 latency not positive: %v", rep.Latency.P99)
+	}
+}
+
+func TestServingFacadeConstructors(t *testing.T) {
+	if schedsim.AlwaysAdmit().Name() != "always" {
+		t.Error("AlwaysAdmit")
+	}
+	if schedsim.NewBoundedQueue(2, 4).Name() != "queue(2,4)" {
+		t.Error("NewBoundedQueue")
+	}
+	if schedsim.NewTokenBucket(100, 2).Name() != "token(100,2)" {
+		t.Error("NewTokenBucket")
+	}
+	mix, err := schedsim.NewMix(schedsim.MixEntry{Kernel: "quicksort", N: 1000, Weight: 1})
+	if err != nil || mix == nil {
+		t.Fatalf("NewMix: %v", err)
+	}
+	cl := schedsim.NewClosedLoop(schedsim.ClosedLoopConfig{
+		Concurrency: 1, TotalJobs: 1, Mix: mix, Seed: 1,
+	})
+	if cl.Name() == "" {
+		t.Error("NewClosedLoop")
+	}
+}
