@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,8 +33,51 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "override base seed (0 = profile default)")
 		verbose    = flag.Bool("v", false, "print each cell as it completes")
 		csvDir     = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
+		benchJSON  = flag.String("benchjson", "", "run the perf harness instead of experiments and write the report to this file (e.g. BENCH_sim.json)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "schedbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "schedbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		start := time.Now()
+		fmt.Printf("schedbench: running perf harness -> %s\n", *benchJSON)
+		if err := exp.WriteBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: -benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# bench harness completed in %.1fs\n", time.Since(start).Seconds())
+		return
+	}
 
 	var p exp.Profile
 	switch *profile {

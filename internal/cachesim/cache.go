@@ -52,6 +52,10 @@ type Cache struct {
 	sets       int
 	assoc      int
 	blockShift uint
+	// setMask is sets-1 when sets is a power of two (setPow2), letting the
+	// set index be a mask instead of a modulo on the access fast path.
+	setMask uint64
+	setPow2 bool
 	// tags holds line+1 per way (0 = invalid), indexed set*assoc+way.
 	tags []uint64
 	// stamps holds the LRU timestamp per way.
@@ -91,6 +95,8 @@ func newCache(level, id int, size, block int64) *Cache {
 		sets:       sets,
 		assoc:      assoc,
 		blockShift: log2u(block),
+		setMask:    uint64(sets - 1),
+		setPow2:    sets&(sets-1) == 0,
 		tags:       make([]uint64, sets*assoc),
 		stamps:     make([]uint64, sets*assoc),
 		dirty:      make([]bool, sets*assoc),
@@ -101,6 +107,81 @@ func newCache(level, id int, size, block int64) *Cache {
 func (c *Cache) Lines() int { return c.sets * c.assoc }
 
 func (c *Cache) line(a mem.Addr) uint64 { return uint64(a) >> c.blockShift }
+
+// setBase returns the first way index of the set holding line ln.
+func (c *Cache) setBase(ln uint64) int {
+	if c.setPow2 {
+		return int(ln&c.setMask) * c.assoc
+	}
+	return int(ln%uint64(c.sets)) * c.assoc
+}
+
+// find is the fused probe+victim scan of the access fast path: one pass
+// over the set returns the way holding ln (victim -1), or way -1 plus the
+// way a fill of this set would evict. The victim is chosen exactly as fill
+// does — first invalid way, else the first way with the smallest LRU
+// stamp — and stays valid as long as the set is not modified in between,
+// which Hierarchy.Access guarantees (each cache appears once on a path and
+// nothing touches a missed cache between its probe and its fill).
+func (c *Cache) find(ln uint64) (way, victim int) {
+	tag := ln + 1
+	base := c.setBase(ln)
+	// Hit scan first, free of victim bookkeeping: hits dominate and the
+	// set-sized slices let the compiler drop bounds checks.
+	tags := c.tags[base : base+c.assoc]
+	for i, t := range tags {
+		if t == tag {
+			return base + i, -1
+		}
+	}
+	// Miss: victim scan — first invalid way, else first-minimum LRU stamp,
+	// exactly like fill.
+	stamps := c.stamps[base : base+c.assoc]
+	victim = 0
+	oldest := stamps[0]
+	if tags[0] != 0 {
+		for i := 1; i < len(tags); i++ {
+			if tags[i] == 0 {
+				victim = i
+				break
+			}
+			if stamps[i] < oldest {
+				victim, oldest = i, stamps[i]
+			}
+		}
+	}
+	return -1, base + victim
+}
+
+// findWay returns the way holding ln, or -1, without touching any state.
+func (c *Cache) findWay(ln uint64) int {
+	tag := ln + 1
+	base := c.setBase(ln)
+	for i, t := range c.tags[base : base+c.assoc] {
+		if t == tag {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// fillAt installs the line containing a into the given victim way (as
+// returned by find), bypassing the victim rescan of fill. Semantics are
+// identical to fill called immediately after the missing probe.
+func (c *Cache) fillAt(a mem.Addr, write bool, victim int) (evicted mem.Addr, evictedDirty bool) {
+	if c.tags[victim] != 0 {
+		c.Stats.Evictions++
+		if c.dirty[victim] {
+			evicted = mem.Addr(c.tags[victim]-1) << c.blockShift
+			evictedDirty = true
+		}
+	}
+	c.clock++
+	c.tags[victim] = c.line(a) + 1
+	c.stamps[victim] = c.clock
+	c.dirty[victim] = write
+	return evicted, evictedDirty
+}
 
 // probe looks up the line containing a; on a hit it refreshes the LRU
 // stamp (marking the line dirty on a write) and returns true. It does not
@@ -233,6 +314,29 @@ func (c *Cache) Reset() {
 	c.Stats = Stats{}
 }
 
+// lineMemo is one entry of the per-(leaf, level) line "TLB" of the access
+// fast path: a cache line this leaf recently located at this level, and
+// the way it occupied. A memo is a hint, never trusted blindly — it is
+// revalidated against the cache's tag array on every use, so evictions,
+// invalidations and resets by any core sharing the cache are picked up
+// without explicit shoot-downs.
+type lineMemo struct {
+	// line holds line number + 1 (0 = empty), matching the tag encoding.
+	line uint64
+	way  int32
+}
+
+// memoWays is the number of memo entries per (leaf, level), direct-mapped
+// by the line's low bits. More than one entry matters because kernels
+// interleave several streams (matrix multiply walks a row, a column and an
+// accumulator): with a single entry the streams evict each other's memo on
+// every access and the fast path never fires. Four 16-byte entries keep
+// one (leaf, level) table inside a single host cache line.
+const (
+	memoWays = 4
+	memoMask = memoWays - 1
+)
+
 // Hierarchy is the full tree of caches plus the DRAM links of one machine.
 type Hierarchy struct {
 	Desc  *machine.Desc
@@ -240,6 +344,23 @@ type Hierarchy struct {
 	// levels[i] holds the caches of machine level i; levels[0] is nil
 	// (memory has no cache object).
 	levels [][]*Cache
+
+	// paths[leaf][lvl] is the cache at lvl on leaf's root-to-leaf path
+	// (index 0 nil), precomputed so Access performs no tree-index
+	// arithmetic (Desc.NodeOf divisions) per probe.
+	paths [][]*Cache
+	// memo is the per-(leaf, level) same-line memo table, indexed
+	// (leaf*nl+lvl)*memoWays + (line & memoMask).
+	memo []lineMemo
+	// victims[lvl] is per-Access scratch carrying the victim way found by
+	// the fused probe scan to the fill pass. Safe to share across workers:
+	// the engine serializes all Access calls.
+	victims []int
+	// hitCost[lvl] caches Desc.Levels[lvl].HitCost.
+	hitCost []int64
+	nl      int   // Desc.NumLevels()
+	numa    bool  // remote-link latency applies (links map 1:1 to sockets)
+	socket  []int // leaf -> level-1 node, for the NUMA check
 
 	linkFree []int64 // next free cycle per DRAM link
 
@@ -271,12 +392,32 @@ func New(desc *machine.Desc, space *mem.Space) *Hierarchy {
 			h.levels[lvl][id] = newCache(lvl, id, desc.Levels[lvl].Size, desc.Levels[lvl].BlockSize)
 		}
 	}
+	nl := desc.NumLevels()
+	cores := desc.NumCores()
+	h.nl = nl
+	h.paths = make([][]*Cache, cores)
+	h.socket = make([]int, cores)
+	for leaf := 0; leaf < cores; leaf++ {
+		path := make([]*Cache, nl)
+		for lvl := 1; lvl < nl; lvl++ {
+			path[lvl] = h.levels[lvl][desc.NodeOf(lvl, leaf)]
+		}
+		h.paths[leaf] = path
+		h.socket[leaf] = desc.NodeOf(1, leaf)
+	}
+	h.memo = make([]lineMemo, cores*nl*memoWays)
+	h.victims = make([]int, nl)
+	h.hitCost = make([]int64, nl)
+	for lvl := 1; lvl < nl; lvl++ {
+		h.hitCost[lvl] = desc.Levels[lvl].HitCost
+	}
+	h.numa = desc.RemoteLatency > 0 && desc.Links == desc.NodesAt(1)
 	return h
 }
 
 // CacheAt returns the cache at the given level above the given leaf.
 func (h *Hierarchy) CacheAt(level, leaf int) *Cache {
-	return h.levels[level][h.Desc.NodeOf(level, leaf)]
+	return h.paths[leaf][level]
 }
 
 // Caches returns all caches at a level.
@@ -285,15 +426,56 @@ func (h *Hierarchy) Caches(level int) []*Cache { return h.levels[level] }
 // Access simulates a memory access from leaf at simulated time now and
 // returns the number of cycles the access costs the core. servedLevel is
 // the machine level that supplied the line (0 = DRAM).
+//
+// The common case — the leaf re-touching the cache line of its previous
+// access, still resident in its innermost cache — takes a memoized fast
+// path: the per-(leaf, level) lineMemo names the way directly, one tag
+// compare revalidates it, and the full probe/fill walk is skipped. The
+// state transition is identical to the general path (an innermost hit
+// refreshes LRU and dirty bits and fills nothing), so the fast path is
+// exact for inclusive and exclusive hierarchies alike.
 func (h *Hierarchy) Access(leaf int, now int64, a mem.Addr, write bool) (cost int64, servedLevel int) {
-	nl := h.Desc.NumLevels()
-	// Probe innermost (highest index) to outermost (level 1).
+	nl := h.nl
+	path := h.paths[leaf]
+	inner := nl - 1
+	c := path[inner]
+	ln := uint64(a) >> c.blockShift
+	if m := &h.memo[(leaf*nl+inner)*memoWays+int(ln&memoMask)]; m.line == ln+1 && c.tags[m.way] == ln+1 {
+		w := m.way
+		c.clock++
+		c.stamps[w] = c.clock
+		c.Stats.Hits++
+		if write {
+			c.dirty[w] = true
+			if inner > 1 {
+				// Propagate the dirty bit to the outermost resident copy
+				// so its eventual eviction is written back.
+				h.markDirtyOuter(leaf, a)
+			}
+		}
+		return h.hitCost[inner], inner
+	}
+
+	// Probe innermost (highest index) to outermost (level 1), one fused
+	// scan per level that yields either the hit way or the fill victim.
 	served := 0
-	for lvl := nl - 1; lvl >= 1; lvl-- {
-		if h.CacheAt(lvl, leaf).probe(a, write) {
+	for lvl := inner; lvl >= 1; lvl-- {
+		c := path[lvl]
+		ln := c.line(a)
+		way, victim := c.find(ln)
+		if way >= 0 {
+			c.clock++
+			c.stamps[way] = c.clock
+			if write {
+				c.dirty[way] = true
+			}
+			c.Stats.Hits++
+			h.memo[(leaf*nl+lvl)*memoWays+int(ln&memoMask)] = lineMemo{line: ln + 1, way: int32(way)}
 			served = lvl
 			break
 		}
+		c.Stats.Misses++
+		h.victims[lvl] = victim
 	}
 	if served == 0 {
 		// DRAM access: queue on the page's link.
@@ -309,30 +491,49 @@ func (h *Hierarchy) Access(leaf int, now int64, a mem.Addr, write bool) (cost in
 		cost = wait + h.Desc.LineService + h.Desc.MemLatency
 		// NUMA: crossing to another socket's DRAM link pays the QPI +
 		// remote-link latency (§5.2), when links map 1:1 to sockets.
-		if h.Desc.RemoteLatency > 0 && h.Desc.Links == h.Desc.NodesAt(1) && link != h.Desc.NodeOf(1, leaf) {
+		if h.numa && link != h.socket[leaf] {
 			cost += h.Desc.RemoteLatency
 			h.RemoteHits++
 		}
 	} else {
-		cost = h.Desc.Levels[served].HitCost
+		cost = h.hitCost[served]
 		if write && served > 1 {
-			// Propagate the dirty bit to the outermost resident copy so
-			// its eventual eviction is written back.
-			h.CacheAt(1, leaf).markDirty(a)
+			h.markDirtyOuter(leaf, a)
 		}
 	}
 	if h.Desc.NonInclusive {
 		h.exclusiveFill(leaf, now, a, write, served)
 	} else {
-		// Inclusive fill of every level that missed.
+		// Inclusive fill of every level that missed, into the victim way
+		// the probe scan already found.
 		for lvl := served + 1; lvl < nl; lvl++ {
-			ev, dirtyEv := h.CacheAt(lvl, leaf).fill(a, write)
+			c := path[lvl]
+			ev, dirtyEv := c.fillAt(a, write, h.victims[lvl])
+			ln := c.line(a)
+			h.memo[(leaf*nl+lvl)*memoWays+int(ln&memoMask)] = lineMemo{line: ln + 1, way: int32(h.victims[lvl])}
 			if lvl == 1 && dirtyEv {
 				h.writeback(now, ev)
 			}
 		}
 	}
 	return cost, served
+}
+
+// markDirtyOuter sets the dirty bit of a's line in leaf's outermost cache
+// if resident, without touching LRU state or counters, consulting the
+// level-1 memo before falling back to a set scan.
+func (h *Hierarchy) markDirtyOuter(leaf int, a mem.Addr) {
+	c := h.paths[leaf][1]
+	ln := c.line(a)
+	m := &h.memo[(leaf*h.nl+1)*memoWays+int(ln&memoMask)]
+	if m.line == ln+1 && c.tags[m.way] == ln+1 {
+		c.dirty[m.way] = true
+		return
+	}
+	if way := c.findWay(ln); way >= 0 {
+		c.dirty[way] = true
+		*m = lineMemo{line: ln + 1, way: int32(way)}
+	}
 }
 
 // writeback reserves the evicted dirty line's DRAM link for one transfer
@@ -399,12 +600,15 @@ func (h *Hierarchy) HitsAt(level int) int64 {
 	return total
 }
 
-// Reset clears all caches, link occupancy and DRAM counters.
+// Reset clears all caches, memos, link occupancy and DRAM counters.
 func (h *Hierarchy) Reset() {
 	for _, lvl := range h.levels {
 		for _, c := range lvl {
 			c.Reset()
 		}
+	}
+	for i := range h.memo {
+		h.memo[i] = lineMemo{}
 	}
 	for i := range h.linkFree {
 		h.linkFree[i] = 0

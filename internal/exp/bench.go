@@ -1,0 +1,187 @@
+package exp
+
+// The benchmark harness: programmatic perf measurements of the simulator's
+// hot paths, runnable both as ordinary `go test -bench` benchmarks (see
+// bench_harness_test.go) and from `cmd/schedbench -benchjson`, which
+// serializes a Report to BENCH_sim.json so every PR leaves a recorded perf
+// trajectory (ns/access, ns/simulated-cycle, allocs/op, end-to-end grid
+// wall time).
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// BenchEntry records one measured benchmark of the harness.
+type BenchEntry struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Metrics carries the benchmark's derived quantities (ns/access,
+	// ns/simulated-cycle, wall seconds, ...) as reported via
+	// testing.B.ReportMetric.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the BENCH_sim.json payload.
+type BenchReport struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	GoVersion     string       `json:"go_version"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Benchmarks    []BenchEntry `json:"benchmarks"`
+}
+
+// BenchAccessHit measures the cachesim memo fast path: the same L1 line
+// re-touched every access.
+func BenchAccessHit(b *testing.B) {
+	d := machine.Xeon7560()
+	sp := mem.NewSpace(d.Links, d.Links)
+	h := cachesim.New(d, sp)
+	a := mem.Addr(mem.PageSize)
+	h.Access(0, 0, a, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, int64(i), a, false)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/access")
+}
+
+// BenchAccessStream measures a streaming scan: inner-level misses with
+// periodic DRAM line fetches.
+func BenchAccessStream(b *testing.B) {
+	d := machine.Xeon7560()
+	sp := mem.NewSpace(d.Links, d.Links)
+	h := cachesim.New(d, sp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i%32, int64(i), mem.Addr(mem.PageSize)+mem.Addr(i*8), false)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/access")
+}
+
+// BenchAccessRandom measures random gathers over a large footprint
+// (DRAM-dominated, full probe walks).
+func BenchAccessRandom(b *testing.B) {
+	d := machine.Xeon7560()
+	sp := mem.NewSpace(d.Links, d.Links)
+	h := cachesim.New(d, sp)
+	const span = 1 << 28
+	x := uint64(0x9e3779b97f4a7c15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		h.Access(int(x%32), int64(i), mem.Addr(mem.PageSize)+mem.Addr(x%span), false)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/access")
+}
+
+// BenchEngineParallelFor measures whole-engine throughput — scheduler
+// call-backs, cache simulation, chunk handoff — and derives the harness's
+// headline ns/simulated-cycle figure.
+func BenchEngineParallelFor(b *testing.B) {
+	m := machine.TwoSocket(4, 1<<18, 1<<13)
+	var simCycles int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := mem.NewSpace(m.Links, m.Links)
+		arr := sp.NewF64("xs", 1<<16)
+		root := job.For(0, arr.Len(), 256,
+			func(lo, hi int) int64 { return int64(hi-lo) * 8 },
+			func(ctx job.Ctx, i int) { arr.Write(ctx, i, 1) })
+		res, err := sim.Run(sim.Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 1}, root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.WallCycles
+	}
+	ns := float64(b.Elapsed().Nanoseconds())
+	b.ReportMetric(ns/float64(simCycles), "ns/simulated-cycle")
+	b.ReportMetric(float64(1<<16)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchGridFig8 measures the end-to-end wall time of the quick-profile
+// Fig. 8 grid — the unit every experiment command is built from.
+func BenchGridFig8(b *testing.B) {
+	p := Quick()
+	p.Reps = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(p, nullWriter{})
+		if _, err := r.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "grid-wall-s")
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// benchSuite lists the harness benchmarks in report order.
+var benchSuite = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"access_hit", BenchAccessHit},
+	{"access_stream", BenchAccessStream},
+	{"access_random", BenchAccessRandom},
+	{"engine_parallel_for", BenchEngineParallelFor},
+	{"grid_fig8_quick", BenchGridFig8},
+}
+
+// RunBenchSuite executes the harness and collects a BenchReport.
+func RunBenchSuite() BenchReport {
+	rep := BenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range benchSuite {
+		r := testing.Benchmark(bm.fn)
+		e := BenchEntry{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Metrics[k] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	return rep
+}
+
+// WriteBenchJSON runs the harness and writes the report to path.
+func WriteBenchJSON(path string) error {
+	rep := RunBenchSuite()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

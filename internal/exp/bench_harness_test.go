@@ -1,0 +1,13 @@
+package exp
+
+import "testing"
+
+// Thin `go test -bench` entry points for the harness benchmarks, so the
+// same measurements behind `schedbench -benchjson` are reachable via
+// `go test -bench 'Harness' ./internal/exp`.
+
+func BenchmarkHarnessAccessHit(b *testing.B)    { BenchAccessHit(b) }
+func BenchmarkHarnessAccessStream(b *testing.B) { BenchAccessStream(b) }
+func BenchmarkHarnessAccessRandom(b *testing.B) { BenchAccessRandom(b) }
+func BenchmarkHarnessEngine(b *testing.B)       { BenchEngineParallelFor(b) }
+func BenchmarkHarnessGridFig8(b *testing.B)     { BenchGridFig8(b) }

@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Golden fingerprint hashes for the quick profile, one per (kernel,
+// scheduler) cell plus one serving stream. They pin the exact observable
+// behaviour of the simulator — wall clock, per-worker time buckets, every
+// cache's hit/miss/eviction counters, DRAM accounting — so that hot-path
+// optimisations (cache-access fast path, chunk batching, strand pooling)
+// are provably semantics-preserving: any drift, however small, fails here.
+//
+// Regenerate with GOLDEN_UPDATE=1 go test ./internal/exp -run Golden -v
+// and paste the printed values — but only after convincing yourself the
+// change is *supposed* to alter simulated behaviour.
+var goldenFingerprints = map[string]string{
+	"rrm/ws":        "5ae0d0b253741f4a0882973fd2326d1baefdb0db32164815e4b0ca950ab90d4b",
+	"rrm/pws":       "f4936277a6daee14edb6dc3ca3952bfd79857db3b4423d4392884eb7c1d7581f",
+	"rrm/sb":        "819a71fa7d028cf9031846678d601696ecb64b45aa1a59875417470ad7699dc2",
+	"rrm/sbd":       "ef34bf8add65a4a2cf75dcf327c32c9bada45e9ab2e4c956b478ff135eabf25d",
+	"quicksort/ws":  "187bc6a79e8efa27c85f2497967a899dfd0138d2adfe50e493c2b175682ddce7",
+	"quicksort/pws": "26023c98f91a9c1acce61e292c152110cb3fe03ec9b3916f052c95c1b6eb189f",
+	"quicksort/sb":  "6894c20ab5059c734276dc95cf6cfeba79bdda7d967a6ba92ad6052bd52dc67e",
+	"quicksort/sbd": "6b5311363816ebe236c872f872668135ceecf846d8580c920c2148f40550ff0d",
+	"serving/sb":    "4f2afe90be7e0eab7cf9cca297654d18155494acfd1d19398395568eadd9eab7",
+}
+
+func hashFingerprint(fp string) string {
+	sum := sha256.Sum256([]byte(fp))
+	return hex.EncodeToString(sum[:])
+}
+
+// checkGolden compares a fingerprint against its pinned hash, dumping the
+// full fingerprint to a temp file on mismatch so divergences can be
+// diffed line by line.
+func checkGolden(t *testing.T, key, fp string) {
+	t.Helper()
+	got := hashFingerprint(fp)
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		t.Logf("golden %q: %q", key, got)
+		return
+	}
+	want, ok := goldenFingerprints[key]
+	if !ok {
+		t.Fatalf("no golden fingerprint recorded for %q (got %s)", key, got)
+	}
+	if got != want {
+		path := filepath.Join(t.TempDir(), "fingerprint.txt")
+		_ = os.WriteFile(path, []byte(fp), 0o644)
+		t.Errorf("%s: fingerprint hash %s != golden %s — simulated behaviour changed; full fingerprint dumped to %s", key, got, want, path)
+	}
+}
+
+// TestGoldenDeterminism runs the quick profile's RRM and quicksort cells
+// under all four paper schedulers and requires byte-identical Result
+// fingerprints across code changes.
+func TestGoldenDeterminism(t *testing.T) {
+	p := Quick()
+	m := p.MachineHT()
+	kernels := []struct {
+		name string
+		mk   KernelFactory
+	}{
+		{"rrm", p.RRMFactory()},
+		{"quicksort", p.QuicksortFactory()},
+	}
+	for _, k := range kernels {
+		for _, sc := range []string{"ws", "pws", "sb", "sbd"} {
+			t.Run(k.name+"/"+sc, func(t *testing.T) {
+				sp := mem.NewSpacePaged(m.Links, m.Links, p.PageSize())
+				kern := k.mk(sp, m, p.Seed)
+				res, err := sim.Run(sim.Config{
+					Machine:   m,
+					Space:     sp,
+					Scheduler: SchedulerFactories(sc)[0](),
+					Seed:      p.Seed,
+				}, kern.Root())
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if err := kern.Verify(); err != nil {
+					t.Fatalf("verify: %v", err)
+				}
+				checkGolden(t, k.name+"/"+sc, res.Fingerprint())
+			})
+		}
+	}
+}
+
+// TestGoldenServing pins an online-serving (RunStream) fingerprint as
+// well: injections, admission queueing and fast-forward idle gaps take
+// engine paths the batch cells never touch, and the chunk-batching fast
+// path must leave them untouched too.
+func TestGoldenServing(t *testing.T) {
+	mix, err := serve.NewMix(
+		serve.MixEntry{Kernel: "rrm", N: 2000, Weight: 2},
+		serve.MixEntry{Kernel: "quicksort", N: 3000, Weight: 1},
+	)
+	if err != nil {
+		t.Fatalf("NewMix: %v", err)
+	}
+	rep, err := serve.Run(serve.Config{
+		Machine:   Quick().MachineHT(),
+		Scheduler: "sb",
+		Arrivals: serve.NewPoisson(serve.PoissonConfig{
+			MeanGap: 50_000,
+			MaxJobs: 8,
+			Mix:     mix,
+			Seed:    42,
+		}),
+		Admission:   serve.NewBoundedQueue(4, -1),
+		Seed:        7,
+		SampleEvery: 200_000,
+	})
+	if err != nil {
+		t.Fatalf("serve.Run: %v", err)
+	}
+	checkGolden(t, "serving/sb", rep.Fingerprint())
+}

@@ -121,6 +121,10 @@ func (r *Runner) RunGrid(cells []Cell) ([]Metrics, error) {
 	out := make([]Metrics, len(cells))
 	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
+	// outMu serializes verbose progress lines: cell workers complete
+	// concurrently and io.Writer implementations are not safe for
+	// concurrent use.
+	var outMu sync.Mutex
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -129,9 +133,11 @@ func (r *Runner) RunGrid(cells []Cell) ([]Metrics, error) {
 			for i := range idx {
 				out[i], errs[i] = r.RunCell(cells[i])
 				if r.Verbose && errs[i] == nil {
+					outMu.Lock()
 					fmt.Fprintf(r.Out, "# done %-16s %-8s bw=%d/%d: time=%.4gs L3=%.4g\n",
 						cells[i].Label, cells[i].Scheduler, cells[i].LinksUsed, cells[i].Machine.Links,
 						out[i].TimeSec(), out[i].L3Misses.Mean)
+					outMu.Unlock()
 				}
 			}
 		}()

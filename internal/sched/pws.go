@@ -15,22 +15,16 @@ func NewPWS() *WS {
 }
 
 // socketBiasedVictim draws a victim with intra-socket workers weighted
-// IntraSocketBias:1 against inter-socket workers.
+// IntraSocketBias:1 against inter-socket workers. Socket membership and
+// ticket totals are precomputed at Setup (they are static), so a draw is
+// one RNG call plus a linear walk over cached socket ids — this runs on
+// every failed get of an idle core, a very hot path in imbalanced phases.
 func socketBiasedVictim(w *WS, worker int) int {
-	m := w.env.Machine()
-	mySocket := m.SocketOf(m.LeafOf(worker))
-	// Count intra-socket candidates (excluding self).
-	intra := 0
-	for v := 0; v < w.n; v++ {
-		if v != worker && m.SocketOf(m.LeafOf(v)) == mySocket {
-			intra++
-		}
-	}
-	inter := w.n - 1 - intra
-	total := intra*IntraSocketBias + inter
+	total := w.victimTotal[worker]
 	if total == 0 {
 		return worker // single-core machine; caller's queue is empty anyway
 	}
+	mySocket := w.socketOf[worker]
 	r := w.env.RNG(worker).Intn(total)
 	// Walk the workers, spending IntraSocketBias tickets on intra-socket
 	// candidates and 1 on the rest; n is small (≤64) so a linear pass is
@@ -39,7 +33,7 @@ func socketBiasedVictim(w *WS, worker int) int {
 		if v == worker {
 			continue
 		}
-		if m.SocketOf(m.LeafOf(v)) == mySocket {
+		if w.socketOf[v] == mySocket {
 			r -= IntraSocketBias
 		} else {
 			r--

@@ -29,6 +29,16 @@ type WS struct {
 	local  []int // local lock ids
 	steal  []int // steal lock ids
 
+	// Scaled cost constants, precomputed at Setup so the per-call-back
+	// hot path avoids repeated float math.
+	baseCost, lockCost, opCost int64
+
+	// socketOf caches each worker's socket id, and victimTotal the total
+	// ticket count of its biased-steal draw, so socketBiasedVictim avoids
+	// redoing PMH index arithmetic on every failed get.
+	socketOf    []int
+	victimTotal []int
+
 	// Steals counts successful steals per worker, for diagnostics.
 	Steals []int64
 }
@@ -73,6 +83,22 @@ func (w *WS) Setup(env Env) {
 		w.local[i] = env.NewLock()
 		w.steal[i] = env.NewLock()
 	}
+	w.baseCost = w.scale(env.Cost().CallbackBase)
+	w.lockCost = w.scale(env.Cost().LockHold)
+	w.opCost = w.scale(env.Cost().QueueOp)
+	m := env.Machine()
+	w.socketOf = make([]int, w.n)
+	perSocket := make(map[int]int)
+	for i := 0; i < w.n; i++ {
+		w.socketOf[i] = m.SocketOf(m.LeafOf(i))
+		perSocket[w.socketOf[i]]++
+	}
+	w.victimTotal = make([]int, w.n)
+	for i := 0; i < w.n; i++ {
+		intra := perSocket[w.socketOf[i]] - 1
+		inter := w.n - 1 - intra
+		w.victimTotal[i] = intra*IntraSocketBias + inter
+	}
 }
 
 func (w *WS) scale(c int64) int64 {
@@ -80,15 +106,15 @@ func (w *WS) scale(c int64) int64 {
 }
 
 func (w *WS) base(worker int) {
-	w.env.Charge(worker, w.scale(w.env.Cost().CallbackBase))
+	w.env.Charge(worker, w.baseCost)
 }
 
 func (w *WS) lock(worker, id int) {
-	w.env.Lock(worker, id, w.scale(w.env.Cost().LockHold))
+	w.env.Lock(worker, id, w.lockCost)
 }
 
 func (w *WS) op(worker int) {
-	w.env.Charge(worker, w.scale(w.env.Cost().QueueOp))
+	w.env.Charge(worker, w.opCost)
 }
 
 // Add implements Scheduler: push onto the bottom of the local dequeue.

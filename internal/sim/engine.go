@@ -134,9 +134,27 @@ type engine struct {
 	roots map[*job.Task]rootRec
 	// nextSample is the simulated time of the next Sampler callback.
 	nextSample int64
+	// sampling caches "Sampler armed" so the hot paths test one bool.
+	sampling bool
+	// nextClock/nextID are the heap-order key of the earliest worker left
+	// in the heap when the current worker was popped; wctx.pause compares
+	// against them to detect boundaries where the engine would re-pop the
+	// same worker immediately. Fixed while strand code runs.
+	nextClock int64
+	nextID    int
 
 	// curBucket attributes Env charges to the call-back being executed.
 	curBucket int
+
+	// pool enables task/strand recycling. Recycling is only sound when no
+	// Listener can retain pointers past an object's lifetime; the engine
+	// itself drops every reference to a non-root strand at the end of its
+	// finishStrand and to a non-root, non-future task once its parent's
+	// bookkeeping is updated (futures are excluded because job.Future keeps
+	// its bound task forever).
+	pool       bool
+	strandPool []*job.Strand
+	taskPool   []*job.Task
 
 	err error
 }
@@ -148,6 +166,7 @@ func newEngine(cfg Config) *engine {
 		h:    cachesim.New(cfg.Machine, cfg.Space),
 		sch:  cfg.Scheduler,
 		cost: cfg.Cost,
+		pool: cfg.Listener == nil,
 	}
 	n := e.m.NumCores()
 	e.workers = make([]*worker, n)
@@ -160,6 +179,7 @@ func newEngine(cfg Config) *engine {
 			yield:  make(chan yieldMsg),
 			exited: make(chan struct{}),
 		}
+		w.ctx = wctx{w: w, e: e}
 		e.workers[i] = w
 		go w.loop(e)
 	}
@@ -261,7 +281,15 @@ func (e *engine) newTask(parent *job.Task, j job.Job) *job.Task {
 	if parent != nil {
 		depth = parent.Depth + 1
 	}
-	return &job.Task{
+	var t *job.Task
+	if n := len(e.taskPool); n > 0 {
+		t = e.taskPool[n-1]
+		e.taskPool[n-1] = nil
+		e.taskPool = e.taskPool[:n-1]
+	} else {
+		t = new(job.Task)
+	}
+	*t = job.Task{
 		ID:          e.nextTaskID,
 		Parent:      parent,
 		Depth:       depth,
@@ -270,6 +298,23 @@ func (e *engine) newTask(parent *job.Task, j job.Job) *job.Task {
 		AnchorLevel: -1,
 		AnchorNode:  -1,
 	}
+	return t
+}
+
+// freeTask recycles an ended task. Callers guarantee nothing holds a
+// reference anymore: pooling is off when a Listener is set, root tasks and
+// future-bound tasks are never freed, and the engine's own last reads of
+// the task precede the free. Zeroing here (not at reuse) turns any missed
+// reference into an immediate, loud bug instead of silent state bleed.
+func (e *engine) freeTask(t *job.Task) {
+	*t = job.Task{}
+	e.taskPool = append(e.taskPool, t)
+}
+
+// freeStrand recycles a finished non-root strand (see freeTask on safety).
+func (e *engine) freeStrand(s *job.Strand) {
+	*s = job.Strand{}
+	e.strandPool = append(e.strandPool, s)
 }
 
 func (e *engine) newStrand(t *job.Task, j job.Job, kind job.Kind, now int64) *job.Strand {
@@ -279,7 +324,15 @@ func (e *engine) newStrand(t *job.Task, j job.Job, kind job.Kind, now int64) *jo
 	if size < 0 {
 		size = t.SizeBytes // paper's default: strand inherits task size
 	}
-	return &job.Strand{
+	var s *job.Strand
+	if n := len(e.strandPool); n > 0 {
+		s = e.strandPool[n-1]
+		e.strandPool[n-1] = nil
+		e.strandPool = e.strandPool[:n-1]
+	} else {
+		s = new(job.Strand)
+	}
+	*s = job.Strand{
 		ID:        e.nextStrandID,
 		Task:      t,
 		Job:       j,
@@ -289,6 +342,7 @@ func (e *engine) newStrand(t *job.Task, j job.Job, kind job.Kind, now int64) *jo
 		Proc:      -1,
 		SpawnedBy: e.curSpawner,
 	}
+	return s
 }
 
 // spawn registers a new strand with the scheduler on behalf of w.
@@ -317,10 +371,18 @@ func (e *engine) finishStrand(w *worker) {
 	e.liveStrands--
 	e.curSpawner = s
 	t := s.Task
+	// Decide poolability up front: after maybeFinish the task may itself be
+	// recycled, so s.Task must not be consulted again. Root-task strands are
+	// excluded (rootRec retains the first one; keeping the rule coarse but
+	// obviously safe costs one strand per root).
+	poolStrand := e.pool && t.Parent != nil
 	if !rec.called {
 		// Strand ended without forking: the task's strand sequence is over.
 		t.FinalDone = true
 		e.maybeFinish(t, w)
+		if poolStrand {
+			e.freeStrand(s)
+		}
 		return
 	}
 	t.Cont = rec.cont
@@ -347,6 +409,9 @@ func (e *engine) finishStrand(w *worker) {
 		// children): release the continuation immediately.
 		e.releaseBlock(t, w)
 		e.maybeFinish(t, w)
+	}
+	if poolStrand {
+		e.freeStrand(s)
 	}
 }
 
@@ -397,6 +462,15 @@ func (e *engine) maybeFinish(t *job.Task, w *worker) {
 			if p.BlockPending == 0 {
 				e.releaseBlock(p, w)
 			}
+			if e.pool {
+				// Ended, non-root, not future-bound, parent bookkeeping
+				// done: the engine holds no more references to t. (Future
+				// tasks stay out: job.Future retains its bound task so
+				// Get after completion keeps working.)
+				e.freeTask(t)
+			}
+			t = p
+			continue
 		}
 		t = p
 	}
@@ -462,7 +536,8 @@ func (e *engine) run(src Source) (res *Result, err error) {
 	}()
 
 	e.src = src
-	if e.cfg.Sampler != nil && e.cfg.SampleEvery > 0 {
+	e.sampling = e.cfg.Sampler != nil && e.cfg.SampleEvery > 0
+	if e.sampling {
 		e.nextSample = e.cfg.SampleEvery
 	}
 	e.heap.init(e.workers)
@@ -472,45 +547,108 @@ func (e *engine) run(src Source) (res *Result, err error) {
 			break
 		}
 		w := e.heap.pop()
-		if e.cfg.Sampler != nil && e.cfg.SampleEvery > 0 {
-			e.sample(w.clock)
+		if e.heap.len() > 0 {
+			u := e.heap.peek()
+			e.nextClock, e.nextID = u.clock, u.id
+		} else {
+			e.nextClock = int64(1)<<62 - 1 // single worker: always next
 		}
-		if pending {
-			if t > w.clock && e.liveStrands == 0 && e.liveRoots == 0 {
-				// The system is fully drained and the next arrival is in
-				// the future: collapse the idle gap in one step.
-				e.heap.push(w)
-				e.fastForward(t)
-				continue
+		// Step w for as long as it remains the earliest worker, re-doing
+		// the loop-head checks before every step but touching the heap
+		// only when another worker overtakes. drainIdle (inside step) can
+		// advance other workers, making nextClock a stale lower bound on
+		// the true heap minimum — stale-low only ends the inner loop (and
+		// skips chunk batching) early, never oversteps w.
+		for {
+			if e.sampling {
+				e.sample(w.clock)
 			}
-			if t <= w.clock {
-				if inj, ok := src.Pop(); ok {
-					e.inject(inj, w)
+			if pending {
+				if t > w.clock && e.liveStrands == 0 && e.liveRoots == 0 {
+					// The system is fully drained and the next arrival is
+					// in the future: collapse the idle gap in one step.
+					e.heap.push(w)
+					e.fastForward(t)
+					break
 				}
-				e.heap.push(w)
-				continue
+				if t <= w.clock {
+					if inj, ok := src.Pop(); ok {
+						e.inject(inj, w)
+					}
+					e.heap.push(w)
+					break
+				}
 			}
-		}
-		e.step(w)
-		if e.err != nil {
-			return nil, e.err
-		}
-		e.heap.push(w)
-		if e.liveStrands == 0 && e.liveRoots > 0 {
-			if _, ok := src.Pending(); !ok {
-				// Nothing queued, nothing running, no arrival coming, yet
-				// roots remain: a task awaits a future that can never
-				// complete.
-				return nil, fmt.Errorf("sim: deadlock — no runnable strands but %d root task(s) have not completed (unsatisfiable future await?)", e.liveRoots)
+			e.step(w)
+			if e.err != nil {
+				return nil, e.err
+			}
+			if e.liveStrands == 0 && e.liveRoots > 0 {
+				if _, ok := src.Pending(); !ok {
+					// Nothing queued, nothing running, no arrival coming,
+					// yet roots remain: a task awaits a future that can
+					// never complete.
+					return nil, fmt.Errorf("sim: deadlock — no runnable strands but %d root task(s) have not completed (unsatisfiable future await?)", e.liveRoots)
+				}
+			}
+			if w.clock > e.nextClock || (w.clock == e.nextClock && w.id > e.nextID) {
+				e.heap.push(w)
+				break
+			}
+			t, pending = src.Pending()
+			if !pending && e.liveRoots == 0 {
+				e.heap.push(w)
+				break
 			}
 		}
 	}
 	return e.collect(), nil
 }
 
+// drainIdle replays the idle polls that fine-grained chunking would have
+// interleaved with a batched strand. While the finished strand ran through
+// virtual chunk boundaries (see wctx.pause), the other workers sat in the
+// heap untouched; any of them ordering before (w.virtualPop, w.id) — the
+// pop the engine would have performed for the strand's final chunk — would,
+// under fine-grained execution, have polled the scheduler (and failed: this
+// strand was the only live one) before the strand's fork was published.
+// Replay those polls now, in exact heap order, so their clock advances, RNG
+// draws and lock/charge side effects land before finishStrand publishes new
+// strands. When no boundary was batched, w.virtualPop is the strand's last
+// real pop and every other worker already orders at or after it, so the
+// loop is a no-op.
+func (e *engine) drainIdle(w *worker) {
+	for e.heap.len() > 0 {
+		u := e.heap.peek()
+		if u.clock > w.virtualPop || (u.clock == w.virtualPop && u.id > w.id) {
+			return
+		}
+		u = e.heap.pop()
+		// Step u while it stays both below the replay limit and ahead of
+		// the rest of the heap, so repeated idle polls (IdleBackoff apart)
+		// cost one pop/push instead of one each.
+		nc, ni := int64(1)<<62-1, 0
+		if e.heap.len() > 0 {
+			v := e.heap.peek()
+			nc, ni = v.clock, v.id
+		}
+		for {
+			e.step(u)
+			if u.clock > w.virtualPop || (u.clock == w.virtualPop && u.id > w.id) {
+				break
+			}
+			if u.clock > nc || (u.clock == nc && u.id > ni) {
+				break
+			}
+		}
+		e.heap.push(u)
+	}
+}
+
 // step advances one worker by one event: acquire a strand if idle, then
 // run one chunk of it.
 func (e *engine) step(w *worker) {
+	w.virtualPop = w.clock
 	if w.cur == nil {
 		s := e.callGet(w)
 		if s == nil {
@@ -532,6 +670,7 @@ func (e *engine) step(w *worker) {
 		// Worker paused mid-strand; nothing to do, it will be resumed
 		// when it is again the earliest worker.
 	case yieldDone:
+		e.drainIdle(w)
 		e.finishStrand(w)
 	case yieldPanic:
 		e.err = fmt.Errorf("sim: strand panicked on worker %d: %v", w.id, msg.panicVal)

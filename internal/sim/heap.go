@@ -55,6 +55,9 @@ func (h *workerHeap) down(i int) {
 	}
 }
 
+// peek returns the earliest worker without removing it.
+func (h *workerHeap) peek() *worker { return h.ws[0] }
+
 // pop removes and returns the earliest worker.
 func (h *workerHeap) pop() *worker {
 	w := h.ws[0]

@@ -98,6 +98,34 @@ func (r *Result) L3Misses() int64 {
 	return r.MissesPerLevel[1]
 }
 
+// Fingerprint renders every deterministic observable of the run — wall
+// clock, per-worker time buckets, task/strand counts, per-cache hit/miss/
+// eviction counters and the DRAM accounting — as one canonical string.
+// Two runs of the same configuration must produce byte-identical
+// fingerprints; the golden determinism tests pin these strings so that
+// hot-path optimisations provably preserve simulation semantics.
+func (r *Result) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched=%s machine=%s wall=%d tasks=%d strands=%d\n",
+		r.Scheduler, r.Machine.Name, r.WallCycles, r.Tasks, r.Strands)
+	for i, w := range r.Workers {
+		fmt.Fprintf(&b, "w%d:", i)
+		for _, v := range w.Buckets {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteByte('\n')
+	}
+	if r.Hier != nil {
+		for lvl := 1; lvl < r.Machine.NumLevels(); lvl++ {
+			for id, c := range r.Hier.Caches(lvl) {
+				fmt.Fprintf(&b, "L%d.%d: h=%d m=%d e=%d\n", lvl, id, c.Stats.Hits, c.Stats.Misses, c.Stats.Evictions)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "dram=%d stall=%d wb=%d remote=%d\n", r.DRAMAccesses, r.StallCycles, r.Writebacks, r.RemoteHits)
+	return b.String()
+}
+
 // String renders a compact multi-line report.
 func (r *Result) String() string {
 	var b strings.Builder

@@ -42,6 +42,10 @@ type worker struct {
 
 	cur *job.Strand
 
+	// ctx is the reusable job.Ctx for strands run on this worker,
+	// embedded here so strand execution allocates nothing per strand.
+	ctx wctx
+
 	// resume: engine → worker "run until your next yield".
 	// yield:  worker → engine, exactly one reply per resume.
 	// exited: closed when the goroutine returns.
@@ -52,6 +56,13 @@ type worker struct {
 	// chunkLeft is the remaining simulated-cycle budget before the current
 	// chunk must yield.
 	chunkLeft int64
+
+	// virtualPop is the simulated time at which the engine (actually or
+	// virtually) last popped this worker to run its current chunk. When a
+	// chunk boundary is batched away (see wctx.pause), the pop that
+	// fine-grained execution would have performed is recorded here so the
+	// engine can later replay the idle polls that ordered before it.
+	virtualPop int64
 
 	// Terminal-fork record for the current strand.
 	fork forkRec
@@ -89,7 +100,7 @@ func (w *worker) runStrand(e *engine) (msg yieldMsg) {
 			msg = yieldMsg{kind: yieldPanic, panicVal: r}
 		}
 	}()
-	w.cur.Job.Run(&wctx{w: w, e: e})
+	w.cur.Job.Run(&w.ctx)
 	return yieldMsg{kind: yieldDone}
 }
 
@@ -121,12 +132,40 @@ type wctx struct {
 
 // pause hands control back to the engine between chunks. If the engine has
 // shut down (resume closed), unwind the strand via workerStopped.
+//
+// Fast path (chunk batching): a chunk boundary may be skipped — no
+// channel round-trip, just w.virtualPop recording the pop the engine
+// would have performed — whenever the boundary is provably unobservable.
+// No sampler may be armed and no injection due at or before w.clock
+// (otherwise the engine must interpose), and one of:
+//
+//   - this worker runs the only live strand: every event the baseline
+//     engine would interleave before this strand's next real boundary is
+//     a failed idle poll, and engine.drainIdle replays exactly those (in
+//     heap order) before the strand's fork publishes; or
+//   - this worker still orders strictly before every other worker in the
+//     heap: the baseline engine would push and immediately re-pop it,
+//     touching nothing — drainIdle then has nothing to replay.
+//
+// Every term of the condition only changes through engine actions, and
+// the engine is parked while strand code runs, so the decision cannot be
+// invalidated between boundaries.
 func (c *wctx) pause() {
-	c.w.yield <- yieldMsg{kind: yieldChunk}
-	if _, ok := <-c.w.resume; !ok {
+	w, e := c.w, c.e
+	if !e.sampling &&
+		(e.liveStrands == 1 ||
+			w.clock < e.nextClock || (w.clock == e.nextClock && w.id < e.nextID)) {
+		if t, pending := e.src.Pending(); !pending || t > w.clock {
+			w.virtualPop = w.clock
+			w.chunkLeft = e.cost.ChunkCycles
+			return
+		}
+	}
+	w.yield <- yieldMsg{kind: yieldChunk}
+	if _, ok := <-w.resume; !ok {
 		panic(workerStopped{})
 	}
-	c.w.chunkLeft = c.e.cost.ChunkCycles
+	w.chunkLeft = e.cost.ChunkCycles
 }
 
 // spend charges cycles of program execution (active time) and yields when
