@@ -1,0 +1,36 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race lint lint-vettool bench check
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repository's own static-analysis suite (see internal/lint
+# and DESIGN.md §6). A finding is a build failure; allowlist intentional
+# exceptions with `//schedlint:ignore <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/schedlint ./...
+
+# lint-vettool exercises the same analyzers through the go vet driver,
+# which caches per-package results in the build cache.
+lint-vettool:
+	$(GO) build -o $(CURDIR)/bin/schedlint ./cmd/schedlint
+	$(GO) vet -vettool=$(CURDIR)/bin/schedlint ./...
+
+bench:
+	$(GO) run ./cmd/schedbench -benchjson BENCH_sim.json
+
+# check is the full pre-push gate: everything CI enforces that can run
+# offline (staticcheck and govulncheck need their pinned tools installed;
+# see ci.yml).
+check: build race lint

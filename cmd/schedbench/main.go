@@ -69,12 +69,13 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		start := time.Now()
+		start := time.Now() //schedlint:ignore nondeterminism harness wall-clock progress stamp; never reaches simulation state
 		fmt.Printf("schedbench: running perf harness -> %s\n", *benchJSON)
 		if err := exp.WriteBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbench: -benchjson: %v\n", err)
 			os.Exit(1)
 		}
+		//schedlint:ignore nondeterminism harness wall-clock progress stamp; never reaches simulation state
 		fmt.Printf("# bench harness completed in %.1fs\n", time.Since(start).Seconds())
 		return
 	}
@@ -103,11 +104,12 @@ func main() {
 	fmt.Printf("machine: %s\n", p.MachineHT())
 
 	run := func(name string, f func() error) {
-		start := time.Now()
+		start := time.Now() //schedlint:ignore nondeterminism harness wall-clock progress stamp; never reaches simulation state
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		//schedlint:ignore nondeterminism harness wall-clock progress stamp; never reaches simulation state
 		fmt.Printf("# %s completed in %.1fs\n", name, time.Since(start).Seconds())
 	}
 

@@ -1,0 +1,97 @@
+// Command schedlint runs the repository's static-analysis suite: four
+// analyzers that enforce the simulator's determinism and hot-path
+// contracts (see internal/lint and DESIGN.md §6).
+//
+// It speaks two dialects:
+//
+// Standalone, for humans and CI:
+//
+//	go run ./cmd/schedlint ./...
+//
+// loads the named packages (go list patterns, relative to the current
+// directory), runs every analyzer and prints findings as
+// file:line:col: analyzer: message. Exit status 1 when findings exist.
+//
+// As a go vet tool, for toolchain integration and vet's caching:
+//
+//	go build -o /tmp/schedlint ./cmd/schedlint
+//	go vet -vettool=/tmp/schedlint ./...
+//
+// in which case cmd/go drives it through the unit-checker protocol
+// (-V=full, -flags, per-package *.cfg files; see internal/lint/unitchecker).
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Dispatch on the vet protocol before anything else: cmd/go probes
+	// with -V=full and -flags, then invokes with a single *.cfg argument.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			return printVersion()
+		case args[0] == "-flags":
+			// No tool-specific flags: cmd/go forwards nothing.
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return unitchecker.Run(args[0], lint.Analyzers())
+		}
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "usage: schedlint [packages]\n\nschedlint takes go list package patterns (default ./...) and no flags;\nunder 'go vet -vettool' it is driven by cmd/go automatically.\n")
+			return 2
+		}
+	}
+	findings, err := lint.Run(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements -V=full: the last field must be a build
+// identifier that changes when the tool changes, because cmd/go folds it
+// into the vet result cache key. Hash the executable itself.
+func printVersion() int {
+	name := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+	return 0
+}

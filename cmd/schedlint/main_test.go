@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepositoryIsClean runs the full analyzer suite over the module the
+// way `schedlint ./...` does and asserts zero findings: the shipped tree
+// must satisfy its own static contracts. Any finding here either needs a
+// fix or an explicit //schedlint:ignore with a reason.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	findings, err := lint.Run("../..", "./...")
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}

@@ -123,6 +123,8 @@ func (c *Cache) setBase(ln uint64) int {
 // stamp — and stays valid as long as the set is not modified in between,
 // which Hierarchy.Access guarantees (each cache appears once on a path and
 // nothing touches a missed cache between its probe and its fill).
+//
+//schedlint:hotpath
 func (c *Cache) find(ln uint64) (way, victim int) {
 	tag := ln + 1
 	base := c.setBase(ln)
@@ -168,6 +170,8 @@ func (c *Cache) findWay(ln uint64) int {
 // fillAt installs the line containing a into the given victim way (as
 // returned by find), bypassing the victim rescan of fill. Semantics are
 // identical to fill called immediately after the missing probe.
+//
+//schedlint:hotpath
 func (c *Cache) fillAt(a mem.Addr, write bool, victim int) (evicted mem.Addr, evictedDirty bool) {
 	if c.tags[victim] != 0 {
 		c.Stats.Evictions++
@@ -434,6 +438,8 @@ func (h *Hierarchy) Caches(level int) []*Cache { return h.levels[level] }
 // state transition is identical to the general path (an innermost hit
 // refreshes LRU and dirty bits and fills nothing), so the fast path is
 // exact for inclusive and exclusive hierarchies alike.
+//
+//schedlint:hotpath
 func (h *Hierarchy) Access(leaf int, now int64, a mem.Addr, write bool) (cost int64, servedLevel int) {
 	nl := h.nl
 	path := h.paths[leaf]
@@ -522,6 +528,8 @@ func (h *Hierarchy) Access(leaf int, now int64, a mem.Addr, write bool) (cost in
 // markDirtyOuter sets the dirty bit of a's line in leaf's outermost cache
 // if resident, without touching LRU state or counters, consulting the
 // level-1 memo before falling back to a set scan.
+//
+//schedlint:hotpath
 func (h *Hierarchy) markDirtyOuter(leaf int, a mem.Addr) {
 	c := h.paths[leaf][1]
 	ln := c.line(a)

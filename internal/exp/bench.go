@@ -152,6 +152,7 @@ var benchSuite = []struct {
 // RunBenchSuite executes the harness and collects a BenchReport.
 func RunBenchSuite() BenchReport {
 	rep := BenchReport{
+		//schedlint:ignore nondeterminism report metadata timestamp; compared fields exclude it
 		GeneratedUnix: time.Now().Unix(),
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
@@ -167,6 +168,7 @@ func RunBenchSuite() BenchReport {
 		}
 		if len(r.Extra) > 0 {
 			e.Metrics = make(map[string]float64, len(r.Extra))
+			//schedlint:ignore nondeterminism copying into a map; order-insensitive, and the JSON encoder sorts keys
 			for k, v := range r.Extra {
 				e.Metrics[k] = v
 			}

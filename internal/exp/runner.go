@@ -128,6 +128,7 @@ func (r *Runner) RunGrid(cells []Cell) ([]Metrics, error) {
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//schedlint:ignore nondeterminism cell fan-out parallelism; each cell is a pure function of its seed and results land at fixed indices
 		go func() {
 			defer wg.Done()
 			for i := range idx {

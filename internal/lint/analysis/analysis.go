@@ -1,0 +1,130 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library so the repository stays dependency-free. It provides the
+// Analyzer/Pass/Diagnostic triple the schedlint analyzers are written
+// against; the shapes deliberately mirror the upstream API so the suite
+// can migrate to x/tools (and run under multichecker/unitchecker proper)
+// by swapping import paths if the dependency ever becomes available.
+//
+// What is intentionally missing compared to upstream: facts (no analyzer
+// here needs cross-package state), sub-analyzer requirements, and
+// suggested fixes. What is added: first-class support for the repository's
+// //schedlint: comment directives (see directive.go) — hotpath markers and
+// reasoned ignore allowlists — which the driver applies uniformly to every
+// analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //schedlint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces and
+	// which runtime invariant it protects.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned within the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's parsed and type-checked form to an analyzer,
+// and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// NewInfo returns a types.Info with every map an analyzer consumes
+// allocated. Shared by the standalone loader, the unitchecker mode and the
+// analysistest harness so all three populate identical type information.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Finding is one fully resolved diagnostic: analyzer name plus a concrete
+// file position, ready for printing or matching against expectations.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the finding the way the driver prints it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to one type-checked package and returns the
+// surviving findings: diagnostics suppressed by a well-formed
+// //schedlint:ignore directive are dropped, and malformed directives are
+// themselves reported (under the pseudo-analyzer name "schedlint") so an
+// allowlist entry can never silently rot.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	ignores, malformed := parseIgnores(fset, files)
+	var out []Finding
+	out = append(out, malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		var diags []Diagnostic
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path(), a.Name, err)
+		}
+		for _, d := range diags {
+			posn := fset.Position(d.Pos)
+			if ignores.covers(a.Name, posn) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+		}
+	}
+	return out, nil
+}

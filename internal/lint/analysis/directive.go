@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The repository's lint directives are ordinary //-comments with no space
+// after the slashes (Go directive convention, so gofmt leaves them alone):
+//
+//	//schedlint:hotpath
+//	    marks the function whose declaration it documents as an
+//	    allocation-free hot path, opting it into the hotalloc analyzer;
+//
+//	//schedlint:ignore <analyzer>[,<analyzer>...] <reason>
+//	    suppresses the named analyzers' findings on the directive's own
+//	    line and on the directly following line (so it works both as a
+//	    trailing comment and on a line of its own). The reason is
+//	    mandatory: an allowlist
+//	    entry must say why the code is exempt, and the driver reports
+//	    reason-less (or analyzer-less) directives as findings of their own.
+const (
+	hotpathDirective = "//schedlint:hotpath"
+	ignoreDirective  = "//schedlint:ignore"
+)
+
+// IsHotpath reports whether fn is marked //schedlint:hotpath in its doc
+// comment group.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreIndex records which (analyzer, file, line) triples are suppressed.
+type ignoreIndex map[string]map[int]bool // "file\x00analyzer" -> lines
+
+func (ix ignoreIndex) add(file, analyzer string, line int) {
+	key := file + "\x00" + analyzer
+	if ix[key] == nil {
+		ix[key] = make(map[int]bool)
+	}
+	ix[key][line] = true
+}
+
+func (ix ignoreIndex) covers(analyzer string, posn token.Position) bool {
+	return ix[posn.Filename+"\x00"+analyzer][posn.Line]
+}
+
+// parseIgnores scans every comment of every file for ignore directives.
+// Well-formed directives populate the index; malformed ones become
+// findings so they fail the build instead of silently ignoring nothing
+// (or, worse, appearing to justify an exemption they do not grant).
+func parseIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Finding) {
+	ix := make(ignoreIndex)
+	var malformed []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if text != ignoreDirective && !strings.HasPrefix(text, ignoreDirective+" ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					malformed = append(malformed, Finding{
+						Analyzer: "schedlint",
+						Pos:      posn,
+						Message:  "malformed ignore directive: want //schedlint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				for _, a := range strings.Split(name, ",") {
+					a = strings.TrimSpace(a)
+					if a == "" {
+						continue
+					}
+					ix.add(posn.Filename, a, posn.Line)
+					ix.add(posn.Filename, a, posn.Line+1)
+				}
+			}
+		}
+	}
+	return ix, malformed
+}

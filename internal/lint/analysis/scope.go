@@ -1,0 +1,31 @@
+package analysis
+
+import "strings"
+
+// PathHasSegments reports whether the import path contains seq as a run of
+// consecutive path segments. Matching on segments rather than substrings
+// keeps "internal/sim" from matching "internal/simulator".
+func PathHasSegments(pkgPath string, seq ...string) bool {
+	segs := strings.Split(pkgPath, "/")
+	if len(seq) == 0 || len(seq) > len(segs) {
+		return false
+	}
+outer:
+	for i := 0; i+len(seq) <= len(segs); i++ {
+		for j, want := range seq {
+			if segs[i+j] != want {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// LastSegment returns the final path segment of an import path.
+func LastSegment(pkgPath string) string {
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[i+1:]
+	}
+	return pkgPath
+}

@@ -1,0 +1,207 @@
+// Package analysistest runs a schedlint analyzer over testdata packages
+// and checks its diagnostics against `// want` expectations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest workflow on the standard
+// library alone.
+//
+// Layout: the caller keeps source packages under testdata/src/<pkgpath>/.
+// Imports between testdata packages resolve within that tree (so a fake
+// "job" package can stand in for repro/internal/job); all other imports
+// resolve to the standard library via the source importer.
+//
+// Expectations are trailing comments of the form
+//
+//	code() // want `regexp`
+//	code() // want "regexp"
+//
+// one per line. Every reported diagnostic must match the want on its line,
+// and every want must be matched by exactly one diagnostic; //schedlint:
+// directives are honored exactly as in the real driver, so testdata can
+// exercise the allowlist machinery too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run applies a to each testdata package (paths under testdata/src) and
+// reports mismatches between diagnostics and // want expectations on t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{
+		root: root,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*checked),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Run(ld.fset, pkg.files, pkg.types, pkg.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, ld.fset, pkg.files, findings)
+	}
+}
+
+// checked is one loaded testdata package.
+type checked struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*checked
+}
+
+func (l *loader) load(path string) (*checked, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if imp == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if _, err := os.Stat(filepath.Join(l.root, "src", filepath.FromSlash(imp))); err == nil {
+				p, err := l.load(imp)
+				if err != nil {
+					return nil, err
+				}
+				return p.types, nil
+			}
+			return l.std.Import(imp)
+		}),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	p := &checked{files: files, types: tpkg, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one parsed expectation.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
+
+// checkExpectations cross-matches findings against // want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[2]
+				if pat == "" {
+					pat = m[3]
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pat, err)
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				wants = append(wants, &want{file: posn.Filename, line: posn.Line, rx: rx, raw: pat})
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, fd := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == fd.Pos.Filename && w.line == fd.Pos.Line && w.rx.MatchString(fd.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", fd)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package hot exercises the hotalloc analyzer: marked functions must be
+// allocation-free; unmarked functions are never inspected.
+package hot
+
+type pair struct{ a, b int }
+
+type state struct {
+	buf    []int
+	lookup map[int]int
+	x, y   int
+}
+
+func sink(v any) { _ = v }
+
+func variadic(vs ...any) { _ = vs }
+
+//schedlint:hotpath
+func (s *state) Bad(v int) {
+	s.buf = append(s.buf, v) // want `append may grow and reallocate`
+	p := &pair{a: v}         // want `address of composite literal pair escapes`
+	_ = p
+	m := make([]int, 4) // want `make allocates`
+	_ = m
+	n := new(pair) // want `new allocates`
+	_ = n
+	sl := []int{1, 2, v} // want `slice literal allocates a backing array`
+	_ = sl
+	mp := map[int]int{v: v} // want `map literal allocates`
+	_ = mp
+	var i any = v // want `variable declaration converts int to interface any`
+	_ = i
+	i = s.x                        // want `assignment converts int to interface any`
+	f := func() int { return s.x } // want `function literal allocates its closure environment`
+	_ = f
+	sink(v)       // want `argument converts int to interface any`
+	variadic(s.y) // want `argument converts int to interface any`
+	_ = any(v)    // want `conversion converts int to interface any`
+}
+
+//schedlint:hotpath
+func (s *state) BadReturn(v int) any {
+	return v // want `return converts int to interface any`
+}
+
+//schedlint:hotpath
+func (s *state) Good(v int) int {
+	// Scalar work, struct values, slicing, indexing and keyed map reads
+	// allocate nothing.
+	s.x += v
+	t := pair{a: s.x, b: s.y}
+	s.buf[0] = t.a
+	w := s.buf[1:2]
+	_ = w
+	if got, ok := s.lookup[v]; ok {
+		return got
+	}
+	sink(nil)     // nil needs no boxing
+	sink("const") // constants live in static data
+	if v < 0 {
+		panic(v) // panic arguments are exempt: the run is already aborting
+	}
+	var err error
+	_ = err == nil // interface-to-interface comparison, no boxing
+	return t.a + t.b
+}
+
+func Unmarked() []int {
+	// Unmarked functions allocate freely.
+	return append(make([]int, 0, 4), 1, 2, 3)
+}

@@ -1,0 +1,65 @@
+// Package lint assembles the schedlint analyzer suite: the registry of
+// analyzers, and the entry point that loads a module's packages and runs
+// every analyzer over them with //schedlint: directive handling applied.
+//
+// The suite exists because the repository's core guarantee — a simulation
+// run's Result fingerprint is a byte-identical pure function of its seed —
+// is otherwise enforced only at runtime, by golden tests, on the kernels
+// they happen to pin. The analyzers reject whole classes of violations at
+// compile time instead. See each analyzer's package documentation for the
+// specific contract it protects, and DESIGN.md §6 for the mapping from
+// analyzer to runtime invariant.
+package lint
+
+import (
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/load"
+	"repro/internal/lint/nondet"
+	"repro/internal/lint/printerlock"
+	"repro/internal/lint/schedcontract"
+)
+
+// Analyzers returns the full schedlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nondet.Analyzer,
+		hotalloc.Analyzer,
+		schedcontract.Analyzer,
+		printerlock.Analyzer,
+	}
+}
+
+// Run loads the packages matching patterns under dir and applies the whole
+// suite, returning findings sorted by position. A nil slice means the tree
+// is clean.
+func Run(dir string, patterns ...string) ([]analysis.Finding, error) {
+	pkgs, err := load.Patterns(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Finding
+	for _, pkg := range pkgs {
+		fs, err := analysis.Run(pkg.Fset, pkg.Syntax, pkg.Types, pkg.Info, Analyzers())
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

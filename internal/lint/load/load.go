@@ -1,0 +1,178 @@
+// Package load builds parsed, type-checked packages for the schedlint
+// driver without depending on golang.org/x/tools/go/packages: it shells
+// out to `go list -deps -json` for package metadata (the same source of
+// truth the go tool itself uses), parses the module's own packages with
+// go/parser, and type-checks them in dependency order. Standard-library
+// imports are resolved through the stdlib source importer
+// (go/importer.ForCompiler(..., "source", ...)), which works offline from
+// GOROOT and needs no pre-built export data.
+//
+// Test files are deliberately excluded: the determinism and hot-path
+// contracts schedlint enforces apply to shipped simulator code; tests are
+// free to read wall clocks, spawn goroutines and allocate.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Package is one parsed and type-checked non-test package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Patterns loads the packages matching patterns (e.g. "./...") rooted at
+// dir, type-checking them and every in-module dependency.
+func Patterns(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint/load: go list: %v\n%s", err, stderr.String())
+	}
+
+	var metas []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint/load: decoding go list output: %v", err)
+		}
+		metas = append(metas, &p)
+	}
+
+	fset := token.NewFileSet()
+	imp := newImporter(fset)
+	var out []*Package
+	// go list -deps emits packages in dependency order, so by the time a
+	// package is type-checked all of its in-module imports are in imp.local.
+	for _, m := range metas {
+		if m.Standard {
+			continue
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("lint/load: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		pkg, err := check(fset, imp, m)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[m.ImportPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one package.
+func check(fset *token.FileSet, imp *moduleImporter, m *listPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint/load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint/load: type-checking %s: %v", m.ImportPath, firstErr)
+	}
+	return &Package{
+		PkgPath: m.ImportPath,
+		Dir:     m.Dir,
+		Fset:    fset,
+		Syntax:  files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// moduleImporter resolves in-module packages from the already-checked set
+// and everything else (the standard library) through the source importer.
+type moduleImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func newImporter(fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		local: make(map[string]*types.Package),
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	if looksLocal(path) {
+		return nil, fmt.Errorf("in-module package %q not yet type-checked (go list order violated?)", path)
+	}
+	return m.std.Import(path)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return m.Import(path)
+}
+
+// looksLocal reports whether path belongs to this module rather than the
+// standard library. The module has no external dependencies, so any import
+// whose first segment contains no dot and is not a std root must be ours.
+func looksLocal(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return first == "repro"
+}

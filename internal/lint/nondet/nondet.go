@@ -1,0 +1,130 @@
+// Package nondet implements the "nondeterminism" analyzer: it rejects, at
+// compile time, the constructs that would break the simulator's core
+// invariant — a run's Result fingerprint is a pure function of (machine,
+// program, scheduler, cost model, seed), byte-identical across repetitions,
+// pooling modes and host parallelism.
+//
+// Two scopes apply:
+//
+//   - Everywhere the driver looks (all non-test packages): wall-clock reads
+//     (time.Now / time.Since / time.Until) and any import of the global
+//     math/rand or math/rand/v2 are flagged. Randomness must flow from an
+//     explicitly seeded repro/internal/xrand source; wall time must never
+//     influence simulated behaviour. The benchmark harness, which
+//     legitimately stamps reports with host wall time, carries
+//     //schedlint:ignore allowlist directives.
+//
+//   - Inside the deterministic core (internal/sim, internal/sched,
+//     internal/cachesim, internal/job, and internal/exp whose tables and
+//     golden fingerprints are part of the output contract): additionally,
+//     ranging over a map (iteration order is randomized by the runtime),
+//     `go` statements (scheduling order is up to the host), and multi-case
+//     select statements (ready-case choice is pseudo-random) are flagged.
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the nondeterminism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: "reject sources of run-to-run nondeterminism: map iteration, go statements and " +
+		"multi-case selects in the simulator core; wall-clock reads and global math/rand everywhere",
+	Run: run,
+}
+
+// coreScoped reports whether the package is part of the deterministic
+// core, where the structural checks apply in addition to the universal
+// wall-clock/math-rand checks.
+func coreScoped(pkgPath string) bool {
+	for _, seg := range []string{"sim", "sched", "cachesim", "job", "exp"} {
+		if analysis.PathHasSegments(pkgPath, "internal", seg) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	core := coreScoped(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		checkImports(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if core {
+					checkMapRange(pass, n)
+				}
+			case *ast.GoStmt:
+				if core {
+					pass.Reportf(n.Pos(),
+						"go statement introduces host-scheduling nondeterminism inside the deterministic simulator core; "+
+							"runs must be pure functions of their seed")
+				}
+			case *ast.SelectStmt:
+				if core && len(n.Body.List) > 1 {
+					pass.Reportf(n.Pos(),
+						"multi-case select chooses among ready cases pseudo-randomly; "+
+							"deterministic simulator code must not depend on select ordering")
+				}
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkImports flags the global math/rand generators wherever they appear:
+// their default sources are shared, locked and (for v1's top-level
+// functions) randomly seeded, so any draw is unreproducible.
+func checkImports(pass *analysis.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(),
+				"import of %s: the global generator is shared and unreproducibly seeded; "+
+					"all randomness must flow from an explicitly seeded repro/internal/xrand source", path)
+		}
+	}
+}
+
+// checkMapRange flags `range m` where m is map-typed.
+func checkMapRange(pass *analysis.Pass, n *ast.RangeStmt) {
+	t := pass.TypeOf(n.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(n.Pos(),
+			"range over map %s: iteration order is randomized per run and may reach simulation state or output; "+
+				"iterate a sorted key slice or look entries up by key", types.ExprString(n.X))
+	}
+}
+
+// checkWallClock flags calls to time.Now / time.Since / time.Until.
+func checkWallClock(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return
+	}
+	switch obj.Name() {
+	case "Now", "Since", "Until":
+		pass.Reportf(call.Pos(),
+			"wall-clock read time.%s breaks reproducibility; simulated time and explicit seeds must drive all behaviour",
+			obj.Name())
+	}
+}

@@ -1,0 +1,16 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nondet"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analysistest.Run(t, nondet.Analyzer,
+		"a/internal/sim/bad",
+		"a/internal/sim/good",
+		"a/util",
+	)
+}

@@ -1,0 +1,44 @@
+// Package bad exercises every nondeterminism check inside the core scope
+// (its import path contains internal/sim).
+package bad
+
+import (
+	"math/rand" // want `global generator is shared and unreproducibly seeded`
+	"time"
+)
+
+var state = map[string]int{"a": 1, "b": 2}
+
+var out []string
+
+func MapOrder() {
+	for k := range state { // want `range over map state: iteration order is randomized`
+		out = append(out, k)
+	}
+	for k, v := range map[int]int{1: 2} { // want `range over map .* iteration order is randomized`
+		_ = k
+		_ = v
+	}
+}
+
+func Spawn(done chan struct{}) {
+	go func() {}() // want `go statement introduces host-scheduling nondeterminism`
+	<-done
+}
+
+func Select(a, b chan int) int {
+	select { // want `multi-case select chooses among ready cases pseudo-randomly`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func Clock() int64 {
+	t := time.Now() // want `wall-clock read time.Now breaks reproducibility`
+	defer func() {
+		_ = time.Since(t) // want `wall-clock read time.Since breaks reproducibility`
+	}()
+	return t.UnixNano() + int64(rand.Int())
+}

@@ -1,0 +1,44 @@
+// Package good contains core-scope code the nondeterminism analyzer must
+// accept: keyed map lookups, slice ranges, single-case selects, simulated
+// time arithmetic, and an allowlisted wall-clock read with a reason.
+package good
+
+import "time"
+
+var index = map[uint64]int{}
+
+func Lookup(key uint64) int {
+	return index[key] // keyed access is deterministic
+}
+
+func SliceRange(xs []int) int {
+	sum := 0
+	for _, x := range xs { // slices iterate in order
+		sum += x
+	}
+	return sum
+}
+
+func ChannelRange(ch chan int) int {
+	n := 0
+	for range ch { // channel drain order is the sender's order
+		n++
+	}
+	return n
+}
+
+func SingleSelect(ch chan int) int {
+	select { // one case: no choice to randomize
+	case v := <-ch:
+		return v
+	}
+}
+
+func SimulatedTime(now, step int64) int64 {
+	return now + step // simulated clocks are plain integers
+}
+
+func Allowlisted() int64 {
+	start := time.Now() //schedlint:ignore nondeterminism harness wall-clock stamp, never reaches simulation state
+	return start.Unix()
+}

@@ -1,0 +1,22 @@
+// Package util is OUTSIDE the deterministic core scope: map ranges, go
+// statements and selects are permitted here, but wall clocks and the
+// global math/rand are still rejected everywhere.
+package util
+
+import "time"
+
+func MapRangeAllowed(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // order-independent reduction, out of core scope
+		sum += v
+	}
+	return sum
+}
+
+func SpawnAllowed(f func()) {
+	go f() // host-level helpers may use goroutines
+}
+
+func ClockStillBanned() int64 {
+	return time.Now().Unix() // want `wall-clock read time.Now breaks reproducibility`
+}

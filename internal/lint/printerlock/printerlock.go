@@ -1,0 +1,181 @@
+// Package printerlock implements the "printerlock" analyzer: all output
+// produced by the experiment layer (internal/exp) must flow through the
+// Runner's single configured io.Writer (Runner.Out), and writes to it from
+// concurrent cell workers must hold the output mutex.
+//
+// Background: RunGrid fans experiment cells out over host goroutines.
+// io.Writer implementations are not safe for concurrent use, and the
+// verbose per-cell progress lines once raced on Runner.Out — a bug fixed
+// by serializing them behind a mutex and pinned by a -race test. This
+// analyzer keeps the class of bug out at compile time, in two parts:
+//
+//  1. Inside internal/exp, writing to the process-global streams at all
+//     (fmt.Print*, the print/println builtins, the log default logger, or
+//     any mention of os.Stdout/os.Stderr) is flagged: experiment output
+//     that bypasses Runner.Out cannot be captured, compared against golden
+//     files, or serialized.
+//
+//  2. Inside a `go func(){...}` literal, any fmt.Fprint* call whose writer
+//     expression mentions a field or method named Out must be preceded
+//     (textually, within the literal) by a mutex Lock() call. This is a
+//     heuristic rather than a dominance analysis, but it exactly matches
+//     the RunGrid worker shape and fails loudly on the shape of the
+//     original race.
+package printerlock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the printerlock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "printerlock",
+	Doc: "require experiment output to flow through the serialized Runner.Out writer; " +
+		"flag stdout/stderr bypasses and unguarded concurrent writes",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasSegments(pass.Pkg.Path(), "internal", "exp") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkGlobalStreamCall(pass, n)
+			case *ast.SelectorExpr:
+				checkOSStream(pass, n)
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineWrites(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFunc resolves a call to (package path, function name), empty strings
+// when the callee is not a package-level function or method.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return "", ""
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return "", ""
+	}
+	if b, ok := obj.(*types.Builtin); ok {
+		return "builtin", b.Name()
+	}
+	if obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// checkGlobalStreamCall flags fmt.Print*/log.* calls and the print/println
+// builtins, all of which target the process-global streams.
+func checkGlobalStreamCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name := pkgFunc(pass, call)
+	switch pkg {
+	case "builtin":
+		if name == "print" || name == "println" {
+			pass.Reportf(call.Pos(),
+				"builtin %s writes to stderr, bypassing the Runner's serialized Out writer", name)
+		}
+	case "fmt":
+		if strings.HasPrefix(name, "Print") {
+			pass.Reportf(call.Pos(),
+				"fmt.%s writes to process stdout; experiment output must go through Runner.Out "+
+					"so it can be captured, compared and serialized", name)
+		}
+	case "log":
+		pass.Reportf(call.Pos(),
+			"log.%s writes through the global logger to stderr, bypassing Runner.Out", name)
+	}
+}
+
+// checkOSStream flags any mention of os.Stdout / os.Stderr.
+func checkOSStream(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return
+	}
+	if obj.Name() == "Stdout" || obj.Name() == "Stderr" {
+		pass.Reportf(sel.Pos(),
+			"direct use of os.%s inside internal/exp bypasses the Runner's Out writer; "+
+				"accept an io.Writer and let the caller choose the stream", obj.Name())
+	}
+}
+
+// checkGoroutineWrites enforces the mutex discipline for writes to an
+// Out-writer from a goroutine body.
+func checkGoroutineWrites(pass *analysis.Pass, lit *ast.FuncLit) {
+	// Collect positions of mutex-acquire calls (any zero-argument .Lock()).
+	var lockPositions []int
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" {
+			lockPositions = append(lockPositions, int(call.Pos()))
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := pkgFunc(pass, call)
+		if pkg != "fmt" || !strings.HasPrefix(name, "Fprint") || len(call.Args) == 0 {
+			return true
+		}
+		if !mentionsOut(call.Args[0]) {
+			return true
+		}
+		for _, lp := range lockPositions {
+			if lp < int(call.Pos()) {
+				return true // a Lock() precedes the write inside this goroutine
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"write to the Runner's Out writer from a concurrent cell worker without first acquiring "+
+				"the output mutex: io.Writer implementations are not safe for concurrent use (RunGrid race)")
+		return true
+	})
+}
+
+// mentionsOut reports whether the writer expression refers to a field or
+// variable named Out (e.g. r.Out, or a tabwriter constructed over it).
+func mentionsOut(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Out" {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "Out" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package printerlock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/printerlock"
+)
+
+func TestPrinterLock(t *testing.T) {
+	analysistest.Run(t, printerlock.Analyzer, "p/internal/exp/bad", "p/internal/exp/good", "plain")
+}

@@ -1,0 +1,38 @@
+// Package bad exercises every printerlock rule inside an internal/exp path.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+)
+
+// Runner mirrors the shape of exp.Runner.
+type Runner struct {
+	Out io.Writer
+	mu  sync.Mutex
+}
+
+func (r *Runner) Report(rows int) {
+	fmt.Println("rows:", rows)     // want `fmt\.Println writes to process stdout`
+	fmt.Printf("rows: %d\n", rows) // want `fmt\.Printf writes to process stdout`
+	println("debug")               // want `builtin println writes to stderr, bypassing the Runner's serialized Out writer`
+	log.Printf("rows: %d", rows)   // want `log\.Printf writes through the global logger to stderr, bypassing Runner\.Out`
+	w := os.Stdout                 // want `direct use of os\.Stdout inside internal/exp bypasses the Runner's Out writer`
+	fmt.Fprintln(w, "rows:", rows)
+	fmt.Fprintln(os.Stderr, "done") // want `direct use of os\.Stderr inside internal/exp bypasses the Runner's Out writer`
+}
+
+func (r *Runner) Fan(cells []int) {
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fmt.Fprintf(r.Out, "cell %d\n", i) // want `write to the Runner's Out writer from a concurrent cell worker without first acquiring the output mutex`
+		}(i)
+	}
+	wg.Wait()
+}

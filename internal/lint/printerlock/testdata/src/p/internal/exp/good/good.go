@@ -1,0 +1,52 @@
+// Package good shows the sanctioned output shapes: serial writes to the
+// Runner's Out writer, and goroutine writes guarded by the output mutex.
+package good
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Runner mirrors the shape of exp.Runner.
+type Runner struct {
+	Out   io.Writer
+	outMu sync.Mutex
+}
+
+// Report writes serially: no mutex needed outside a goroutine.
+func (r *Runner) Report(rows int) {
+	fmt.Fprintf(r.Out, "rows: %d\n", rows)
+	fmt.Fprintln(r.Out, "done")
+}
+
+// Fan matches the RunGrid worker shape: the output mutex is acquired
+// before every write to Out from a concurrent cell worker.
+func (r *Runner) Fan(cells []int) {
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.outMu.Lock()
+			fmt.Fprintf(r.Out, "cell %d\n", i)
+			r.outMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// FanElsewhere writes to a per-cell buffer inside the goroutine; only the
+// final aggregation touches Out, serially.
+func (r *Runner) FanElsewhere(cells []int, sinks []io.Writer) {
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fmt.Fprintf(sinks[i], "cell %d\n", i)
+		}(i)
+	}
+	wg.Wait()
+	fmt.Fprintln(r.Out, "all cells done")
+}

@@ -1,0 +1,13 @@
+// Package plain sits outside internal/exp: printerlock must not fire here.
+package plain
+
+import (
+	"fmt"
+	"os"
+)
+
+// Hello writes to stdout, which is fine outside the experiment layer.
+func Hello() {
+	fmt.Println("hello")
+	fmt.Fprintln(os.Stdout, "hello again")
+}

@@ -1,0 +1,12 @@
+package schedcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/schedcontract"
+)
+
+func TestSchedContract(t *testing.T) {
+	analysistest.Run(t, schedcontract.Analyzer, "schedbad", "schedgood")
+}

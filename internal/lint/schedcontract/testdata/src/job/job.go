@@ -1,0 +1,16 @@
+// Package job is a miniature stand-in for repro/internal/job: the
+// schedcontract analyzer matches scheduler call-backs structurally by
+// pointer-to-Strand/Task parameters declared in a package named "job".
+package job
+
+// Strand is one sequential piece of a task.
+type Strand struct {
+	ID    uint64
+	Sched any
+}
+
+// Task is a node of the fork-join DAG.
+type Task struct {
+	ID    uint64
+	Sched any
+}

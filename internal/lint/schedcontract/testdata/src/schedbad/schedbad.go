@@ -1,0 +1,64 @@
+// Package schedbad violates every schedcontract rule.
+package schedbad
+
+import (
+	"job"
+	"sim"
+)
+
+// Bad is a scheduler that breaks the engine contract in each call-back.
+type Bad struct {
+	queue   []*job.Strand
+	last    *job.Strand
+	byID    map[uint64]*job.Strand
+	lastT   *job.Task
+	notify  chan *job.Strand
+	pending []*job.Task
+}
+
+type env interface {
+	Charge(worker int, cycles int64)
+}
+
+func (b *Bad) Name() string { return "Bad" }
+
+func (b *Bad) Setup(e env) {
+	go func() { // want `scheduler Setup must not spawn goroutines`
+		b.queue = nil
+	}()
+}
+
+func (b *Bad) Add(s *job.Strand, worker int) {
+	sim.Poke()   // want `scheduler Add calls sim.Poke`
+	go b.push(s) // want `scheduler Add must not spawn goroutines`
+}
+
+func (b *Bad) push(s *job.Strand) { b.queue = append(b.queue, s) }
+
+func (b *Bad) Get(worker int) *job.Strand {
+	sim.Poke() // want `scheduler Get calls sim.Poke`
+	if n := len(b.queue); n > 0 {
+		s := b.queue[n-1]
+		b.queue = b.queue[:n-1]
+		return s
+	}
+	return nil
+}
+
+func (b *Bad) Done(s *job.Strand, worker int) {
+	b.last = s                    // want `scheduler Done retains the strand pointer \(stored via assignment\)`
+	b.queue = append(b.queue, s)  // want `scheduler Done retains the strand pointer \(appended to a slice\)`
+	b.byID[s.ID] = s              // want `scheduler Done retains the strand pointer \(stored via assignment\)`
+	pair := []*job.Strand{s, nil} // want `scheduler Done retains the strand pointer \(stored in a composite literal\)`
+	_ = pair
+	b.notify <- s // want `scheduler Done retains the strand pointer \(sent on a channel\)`
+	cb := func() uint64 {
+		return s.ID // want `scheduler Done retains the strand pointer \(captured by a closure\)`
+	}
+	_ = cb
+}
+
+func (b *Bad) TaskEnd(t *job.Task, worker int) {
+	b.lastT = t                      // want `scheduler TaskEnd retains the task pointer \(stored via assignment\)`
+	b.pending = append(b.pending, t) // want `scheduler TaskEnd retains the task pointer \(appended to a slice\)`
+}

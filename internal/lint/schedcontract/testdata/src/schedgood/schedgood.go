@@ -1,0 +1,59 @@
+// Package schedgood mirrors the repository's real schedulers: everything
+// here must pass schedcontract.
+package schedgood
+
+import "job"
+
+type release struct{ level, id int }
+
+type strandState struct{ charges []release }
+
+// Good follows the contract: Add retains (the strand stays live until
+// Done), Get returns ownership, Done/TaskEnd only read the pointer and
+// write through its own fields.
+type Good struct {
+	queue []*job.Strand
+	occ   []int64
+}
+
+type env interface {
+	Charge(worker int, cycles int64)
+}
+
+func (g *Good) Name() string { return "Good" }
+
+func (g *Good) Setup(e env) { g.queue = g.queue[:0] }
+
+func (g *Good) Add(s *job.Strand, worker int) {
+	// Retention in Add is the point of a scheduler: the strand is live
+	// until the engine reports Done.
+	g.queue = append(g.queue, s)
+}
+
+func (g *Good) Get(worker int) *job.Strand {
+	if n := len(g.queue); n > 0 {
+		s := g.queue[n-1]
+		g.queue = g.queue[:n-1]
+		return s
+	}
+	return nil
+}
+
+func (g *Good) Done(s *job.Strand, worker int) {
+	// Reading fields, copying values out, aliasing locally and clearing
+	// the strand's own state are all fine; only the pointer must die here.
+	id := s.ID
+	_ = id
+	local := s
+	_ = local
+	if st, ok := s.Sched.(*strandState); ok {
+		for _, c := range st.charges {
+			g.occ[c.id] -= int64(c.level)
+		}
+	}
+	s.Sched = nil
+}
+
+func (g *Good) TaskEnd(t *job.Task, worker int) {
+	t.Sched = nil
+}

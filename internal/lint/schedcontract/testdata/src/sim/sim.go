@@ -1,0 +1,6 @@
+// Package sim stands in for the engine package: schedulers must never
+// call into it.
+package sim
+
+// Poke is an arbitrary engine entry point.
+func Poke() {}

@@ -1,0 +1,174 @@
+// Package unitchecker implements the protocol `go vet -vettool` speaks to
+// an external analysis tool, so cmd/schedlint can run under the standard
+// toolchain driver as well as standalone.
+//
+// The protocol (reverse-engineered from cmd/go and mirrored from the
+// golang.org/x/tools unitchecker, which this module deliberately does not
+// depend on):
+//
+//   - `tool -V=full` prints a version line whose last field is a buildID;
+//     cmd/go hashes it into the vet cache key.
+//   - `tool -flags` prints a JSON array describing the tool's flags; cmd/go
+//     uses it to decide which command-line flags it may forward. schedlint
+//     has none, so it prints [].
+//   - `tool <file>.cfg` runs one unit of work: the cfg file is a JSON
+//     description of a single package (file set, import map, export data
+//     locations). The tool must type-check the package using the compiler
+//     export data (never the network, never GOPATH), write its facts file
+//     (always, even when empty — cmd/go caches it), print diagnostics to
+//     stderr and exit 2 when it found anything.
+//
+// Facts are not implemented: none of the schedlint analyzers need
+// cross-package facts, so the vetx output is always an empty file.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config is the JSON structure of a unit-check configuration file, as
+// written by cmd/go for `go vet -vettool`. Field names and meanings must
+// match cmd/go/internal/work; unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes one unit of work described by the cfg file and returns the
+// process exit code: 0 for a clean package, 2 when diagnostics were
+// reported (matching `go tool vet` conventions), 1 on internal errors.
+// Diagnostics and errors go to stderr.
+func Run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	// The facts file must exist for cmd/go's cache even though schedlint
+	// produces no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: only facts were wanted, and there are none
+	}
+
+	findings, err := check(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// check parses and type-checks the unit, then runs the analyzers.
+func check(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// schedlint's contracts apply to shipped code, not tests; the
+		// standalone loader never sees test files, and the vettool path
+		// must agree with it.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// The import map handles vendoring and module rewrites; the
+		// package file map points at compiler export data in the build
+		// cache, so no network or source tree is consulted.
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			if cfg.Compiler == "gccgo" && cfg.Standard[path] {
+				return nil, nil // fall back to the gccgo-installed package
+			}
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(fset, files, pkg, info, analyzers)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

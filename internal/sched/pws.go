@@ -19,6 +19,8 @@ func NewPWS() *WS {
 // ticket totals are precomputed at Setup (they are static), so a draw is
 // one RNG call plus a linear walk over cached socket ids — this runs on
 // every failed get of an idle core, a very hot path in imbalanced phases.
+//
+//schedlint:hotpath
 func socketBiasedVictim(w *WS, worker int) int {
 	total := w.victimTotal[worker]
 	if total == 0 {

@@ -57,6 +57,8 @@ func NewCilk() *WS {
 // uniformVictim chooses uniformly among all other workers (Appendix A's
 // steal_choice). On a single-core machine the worker is its own (always
 // empty) victim.
+//
+//schedlint:hotpath
 func uniformVictim(w *WS, worker int) int {
 	if w.n < 2 {
 		return worker
@@ -127,6 +129,8 @@ func (w *WS) Add(s *job.Strand, worker int) {
 
 // Get implements Scheduler: pop the bottom of the local dequeue, else
 // attempt one steal from the top of a random victim's dequeue.
+//
+//schedlint:hotpath
 func (w *WS) Get(worker int) *job.Strand {
 	w.base(worker)
 	w.lock(worker, w.local[worker])

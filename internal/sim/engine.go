@@ -181,7 +181,7 @@ func newEngine(cfg Config) *engine {
 		}
 		w.ctx = wctx{w: w, e: e}
 		e.workers[i] = w
-		go w.loop(e)
+		go w.loop(e) //schedlint:ignore nondeterminism baton-pass worker: exactly one goroutine runs at a time, sequenced by resume/yield channels
 	}
 	e.sch.Setup(e) // engine implements sched.Env
 	return e
@@ -215,6 +215,8 @@ func (e *engine) NewLock() int {
 }
 
 // Lock implements sched.Env: serialize on the lock in simulated time.
+//
+//schedlint:hotpath
 func (e *engine) Lock(worker, id int, hold int64) {
 	w := e.workers[worker]
 	start := w.clock
@@ -228,6 +230,8 @@ func (e *engine) Lock(worker, id int, hold int64) {
 }
 
 // Charge implements sched.Env.
+//
+//schedlint:hotpath
 func (e *engine) Charge(worker int, cycles int64) {
 	w := e.workers[worker]
 	w.clock += cycles
@@ -617,6 +621,8 @@ func (e *engine) run(src Source) (res *Result, err error) {
 // strands. When no boundary was batched, w.virtualPop is the strand's last
 // real pop and every other worker already orders at or after it, so the
 // loop is a no-op.
+//
+//schedlint:hotpath
 func (e *engine) drainIdle(w *worker) {
 	for e.heap.len() > 0 {
 		u := e.heap.peek()
@@ -647,6 +653,8 @@ func (e *engine) drainIdle(w *worker) {
 
 // step advances one worker by one event: acquire a strand if idle, then
 // run one chunk of it.
+//
+//schedlint:hotpath
 func (e *engine) step(w *worker) {
 	w.virtualPop = w.clock
 	if w.cur == nil {
@@ -673,6 +681,7 @@ func (e *engine) step(w *worker) {
 		e.drainIdle(w)
 		e.finishStrand(w)
 	case yieldPanic:
+		//schedlint:ignore hotalloc terminal error path, runs at most once per simulation
 		e.err = fmt.Errorf("sim: strand panicked on worker %d: %v", w.id, msg.panicVal)
 	}
 }

@@ -112,6 +112,8 @@ func (w *worker) begin(e *engine) {
 
 // runChunk resumes the worker until its next yield and returns the yield.
 // Called on the engine goroutine.
+//
+//schedlint:hotpath
 func (w *worker) runChunk() yieldMsg {
 	w.resume <- struct{}{}
 	return <-w.yield
@@ -150,6 +152,8 @@ type wctx struct {
 // Every term of the condition only changes through engine actions, and
 // the engine is parked while strand code runs, so the decision cannot be
 // invalidated between boundaries.
+//
+//schedlint:hotpath
 func (c *wctx) pause() {
 	w, e := c.w, c.e
 	if !e.sampling &&
@@ -170,6 +174,8 @@ func (c *wctx) pause() {
 
 // spend charges cycles of program execution (active time) and yields when
 // the chunk budget is exhausted.
+//
+//schedlint:hotpath
 func (c *wctx) spend(cycles int64) {
 	c.w.clock += cycles
 	c.w.timers[BucketActive] += cycles
@@ -181,6 +187,8 @@ func (c *wctx) spend(cycles int64) {
 
 // Access implements job.Ctx (and mem.Accessor): simulate the access on the
 // worker's cache path and charge its cost.
+//
+//schedlint:hotpath
 func (c *wctx) Access(a mem.Addr, write bool) {
 	cost, _ := c.e.h.Access(c.w.leaf, c.w.clock, a, write)
 	c.spend(cost)

@@ -55,6 +55,8 @@ func (s *Source) Seed(seed uint64) {
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+//schedlint:hotpath
 func (s *Source) Uint64() uint64 {
 	result := rotl(s.s1*5, 7) * 9
 	t := s.s1 << 17
@@ -68,6 +70,8 @@ func (s *Source) Uint64() uint64 {
 }
 
 // Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+//
+//schedlint:hotpath
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with non-positive n")
