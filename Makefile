@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-vettool bench check
+.PHONY: all build test race lint lint-vettool bench bench-replay check
 
 all: build test lint
 
@@ -29,6 +29,16 @@ lint-vettool:
 
 bench:
 	$(GO) run ./cmd/schedbench -benchjson BENCH_sim.json
+
+# bench-replay gates the record/replay subsystem: the live-vs-replay
+# equivalence suite must actually run and pass (the grep rejects a log
+# where it was skipped or filtered away), and a quick Fig. 8 grid must
+# resolve at least half of its cells from the trace cache.
+bench-replay:
+	@mkdir -p bin
+	$(GO) test ./internal/exp/ -run TestLiveReplayEquivalence -count=1 -v > bin/replay_equiv.log 2>&1 || { cat bin/replay_equiv.log; exit 1; }
+	grep -q -- "--- PASS: TestLiveReplayEquivalence" bin/replay_equiv.log
+	$(GO) run ./cmd/schedbench -profile quick -experiment fig8 -mintracehit 50
 
 # check is the full pre-push gate: everything CI enforces that can run
 # offline (staticcheck and govulncheck need their pinned tools installed;

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dagtrace"
 	"repro/internal/exp"
 	"repro/internal/machine"
 )
@@ -34,6 +35,9 @@ func main() {
 		verbose    = flag.Bool("v", false, "print each cell as it completes")
 		csvDir     = flag.String("csv", "", "also write each figure's rows as CSV into this directory")
 		benchJSON  = flag.String("benchjson", "", "run the perf harness instead of experiments and write the report to this file (e.g. BENCH_sim.json)")
+		traceDir   = flag.String("tracecache", "", "spill recorded DAG traces to this directory and reload them across runs (empty = in-memory cache only)")
+		minHit     = flag.Float64("mintracehit", -1, "exit 1 if the trace-cache hit rate ends below this percentage (negative = no check)")
+		noTrace    = flag.Bool("notrace", false, "disable record/replay: execute every grid cell live")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -99,6 +103,25 @@ func main() {
 
 	r := exp.NewRunner(p, os.Stdout)
 	r.Verbose = *verbose
+	switch {
+	case *noTrace:
+		r.Traces = nil
+	case *traceDir != "":
+		r.Traces = dagtrace.NewCache(*traceDir)
+	}
+	reportTraces := func() {
+		if r.Traces == nil {
+			return
+		}
+		s := r.Traces.Stats()
+		rate := 100 * s.HitRate()
+		fmt.Printf("# trace cache: %d replayed (%d from disk), %d recorded, %d fallbacks — hit rate %.1f%%\n",
+			s.Hits, s.DiskHits, s.Misses, s.Fallbacks, rate)
+		if *minHit >= 0 && rate < *minHit {
+			fmt.Fprintf(os.Stderr, "schedbench: trace-cache hit rate %.1f%% is below -mintracehit %.1f\n", rate, *minHit)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("schedbench: profile=%s machine-scale=1/%d reps=%d\n", p.Name, p.MachineScale, p.Reps)
 	fmt.Printf("machine: %s\n", p.MachineHT())
@@ -161,6 +184,7 @@ func main() {
 		}
 		run(*experiment, f)
 	}
+	reportTraces()
 }
 
 // printMachine prints the Fig. 4 specification entry of the simulated

@@ -1,0 +1,176 @@
+package dagtrace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Stats reports cache effectiveness. A Hit is a cell that replayed a trace
+// (from memory or disk) instead of executing kernel closures; a Miss is a
+// cell group that had to record; a Fallback is a key whose computation
+// recording rejected (ErrUnsupported), which runs live every time.
+type Stats struct {
+	Hits      int64
+	DiskHits  int64
+	Misses    int64
+	Fallbacks int64
+}
+
+// HitRate is hits over all resolutions, in [0,1]; 0 when nothing ran.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Fallbacks
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a single-flight trace store shared by the concurrent cells of
+// an experiment grid: the first goroutine to ask for a key becomes its
+// recorder, everyone else blocks until the recording (or its rejection)
+// lands. With a spill directory, successful recordings also persist across
+// processes.
+type Cache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   Stats
+}
+
+type entry struct {
+	ready chan struct{} // closed by Fill
+	done  bool          // set under Cache.mu before ready closes
+	trace *Trace
+	err   error
+}
+
+// NewCache returns a cache spilling to dir, or memory-only when dir is
+// empty. The directory is created on demand; spill failures degrade to
+// memory-only behaviour rather than failing the experiment.
+func NewCache(dir string) *Cache {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			dir = ""
+		}
+	}
+	return &Cache{dir: dir, entries: make(map[string]*entry)}
+}
+
+// GetOrReserve resolves key. Exactly one caller per key observes
+// record=true and MUST follow up with Fill (with a trace or an error);
+// every other caller blocks until that Fill and receives its outcome.
+// A non-nil error (typically ErrUnsupported) means the caller should run
+// live without a trace.
+func (c *Cache) GetOrReserve(key string) (t *Trace, record bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		c.mu.Lock()
+		if e.err == nil {
+			c.stats.Hits++
+		} else {
+			c.stats.Fallbacks++
+		}
+		c.mu.Unlock()
+		return e.trace, false, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	if t, ok := c.loadDisk(key); ok {
+		c.Fill(key, t, nil)
+		c.mu.Lock()
+		c.stats.Hits++
+		c.stats.DiskHits++
+		c.mu.Unlock()
+		return t, false, nil
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, true, nil
+}
+
+// Fill publishes the outcome of a reservation made by GetOrReserve and
+// unblocks its waiters. Successful traces are spilled to disk when the
+// cache has a directory.
+func (c *Cache) Fill(key string, t *Trace, err error) {
+	if t != nil {
+		t.Key = key
+	}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil || e.done {
+		c.mu.Unlock()
+		panic("dagtrace: Fill without matching GetOrReserve reservation")
+	}
+	e.trace, e.err, e.done = t, err, true
+	c.mu.Unlock()
+	close(e.ready)
+	if err == nil && c.dir != "" {
+		c.spill(key, t)
+	}
+}
+
+// Drop evicts the in-memory trace for key once it is filled, bounding grid
+// memory to the traces still in use; a disk spill (if any) survives and
+// re-seeds a later GetOrReserve. Dropping an unfilled or absent key is a
+// no-op.
+func (c *Cache) Drop(key string) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && e.done {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// path maps a key to its spill file: keys embed machine geometry and
+// profile scales and are not filename-safe, so hash them.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".dgtr")
+}
+
+// loadDisk attempts to reload a spilled trace; any failure (missing file,
+// corrupt content) just means "record again".
+func (c *Cache) loadDisk(key string) (*Trace, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	t, err := Decode(data)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// spill writes the trace atomically (tmp + rename) so concurrent readers
+// never observe a torn file; failures leave the cache memory-only for this
+// key.
+func (c *Cache) spill(key string, t *Trace) {
+	p := c.path(key)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, t.Encode(), 0o644); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+	}
+}

@@ -1,0 +1,170 @@
+package dagtrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/opcode"
+)
+
+// The op bytecode itself lives in internal/opcode so the sim engine's
+// inline interpreter can share it; the local names keep this package's
+// call sites short.
+const (
+	opRead  = opcode.Read
+	opWrite = opcode.Write
+	opWork  = opcode.Work
+
+	opTagBits = opcode.TagBits
+	opTagMask = opcode.TagMask
+)
+
+func zigzag(v int64) uint64   { return opcode.Zigzag(v) }
+func unzigzag(u uint64) int64 { return opcode.Unzigzag(u) }
+
+func appendUvarint(b []byte, v uint64) []byte { return opcode.AppendUvarint(b, v) }
+
+// --- whole-trace binary format ---------------------------------------------
+//
+// The on-disk form (for -tracecache spill) is:
+//
+//	magic "DGTR" | version u32 | root u32 | taskCount u64 | strandCount u64
+//	accessOps u64 | workOps u64 | nodeCount u64 | childCount u64 | opBytes u64
+//	nodes: per node taskSize/strandSize (zigzag uvarint), cont+1 (uvarint),
+//	       child count (uvarint), op length (uvarint)
+//	childIdx: uvarint each
+//	ops: raw bytes
+//	fnv-1a checksum u64 over everything above
+//
+// Node op offsets and child offsets are recomputed from the per-node
+// lengths, so the format stays self-describing and delta-friendly.
+
+const (
+	magic   = "DGTR"
+	version = 1
+)
+
+// Encode serializes the trace for the on-disk cache.
+func (t *Trace) Encode() []byte {
+	buf := make([]byte, 0, 64+len(t.nodes)*6+len(t.childIdx)*3+len(t.ops))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.root))
+	buf = binary.LittleEndian.AppendUint64(buf, t.TaskCount)
+	buf = binary.LittleEndian.AppendUint64(buf, t.StrandCount)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.AccessOps))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.WorkOps))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.nodes)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.childIdx)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.ops)))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		buf = appendUvarint(buf, zigzag(n.taskSize))
+		buf = appendUvarint(buf, zigzag(n.strandSize))
+		buf = appendUvarint(buf, uint64(n.cont+1))
+		buf = appendUvarint(buf, uint64(n.childEnd-n.childOff))
+		buf = appendUvarint(buf, uint64(n.opEnd-n.opOff))
+	}
+	for _, ci := range t.childIdx {
+		buf = appendUvarint(buf, uint64(ci))
+	}
+	buf = append(buf, t.ops...)
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// Decode reconstructs a Trace from Encode's output, verifying the checksum
+// and every structural bound so a corrupt cache file fails loudly instead
+// of replaying garbage.
+func Decode(data []byte) (*Trace, error) {
+	if len(data) < 4+4+4+8*7+8 {
+		return nil, fmt.Errorf("dagtrace: encoded trace truncated (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, fmt.Errorf("dagtrace: checksum mismatch (corrupt trace file)")
+	}
+	if string(body[:4]) != magic {
+		return nil, fmt.Errorf("dagtrace: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != version {
+		return nil, fmt.Errorf("dagtrace: unsupported trace version %d", v)
+	}
+	t := &Trace{
+		root:        int32(binary.LittleEndian.Uint32(body[8:])),
+		TaskCount:   binary.LittleEndian.Uint64(body[12:]),
+		StrandCount: binary.LittleEndian.Uint64(body[20:]),
+		AccessOps:   int64(binary.LittleEndian.Uint64(body[28:])),
+		WorkOps:     int64(binary.LittleEndian.Uint64(body[36:])),
+	}
+	nodeN := binary.LittleEndian.Uint64(body[44:])
+	childN := binary.LittleEndian.Uint64(body[52:])
+	opN := binary.LittleEndian.Uint64(body[60:])
+	rest := body[68:]
+	const maxCount = 1 << 31
+	if nodeN > maxCount || childN > maxCount || opN > uint64(len(data)) {
+		return nil, fmt.Errorf("dagtrace: implausible trace header (%d nodes, %d children, %d op bytes)", nodeN, childN, opN)
+	}
+	if t.root < 0 || uint64(t.root) >= nodeN {
+		return nil, fmt.Errorf("dagtrace: root %d out of range", t.root)
+	}
+	next := func() (uint64, error) {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return 0, fmt.Errorf("dagtrace: encoded trace truncated mid-varint")
+		}
+		rest = rest[k:]
+		return v, nil
+	}
+	t.nodes = make([]node, nodeN)
+	var opOff int64
+	var childOff int32
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		vals := [5]uint64{}
+		for j := range vals {
+			v, err := next()
+			if err != nil {
+				return nil, err
+			}
+			vals[j] = v
+		}
+		n.taskSize = unzigzag(vals[0])
+		n.strandSize = unzigzag(vals[1])
+		n.cont = int32(vals[2]) - 1
+		if n.cont < -1 || uint64(n.cont+1) > nodeN {
+			return nil, fmt.Errorf("dagtrace: node %d continuation %d out of range", i, n.cont)
+		}
+		n.childOff = childOff
+		childOff += int32(vals[3])
+		n.childEnd = childOff
+		n.opOff = opOff
+		opOff += int64(vals[4])
+		n.opEnd = opOff
+	}
+	if uint64(childOff) != childN || uint64(opOff) != opN {
+		return nil, fmt.Errorf("dagtrace: node totals disagree with header (%d/%d children, %d/%d op bytes)",
+			childOff, childN, opOff, opN)
+	}
+	t.childIdx = make([]int32, childN)
+	for i := range t.childIdx {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if v >= nodeN {
+			return nil, fmt.Errorf("dagtrace: child index %d out of range", v)
+		}
+		t.childIdx[i] = int32(v)
+	}
+	if uint64(len(rest)) != opN {
+		return nil, fmt.Errorf("dagtrace: %d op bytes after node tables, header says %d", len(rest), opN)
+	}
+	t.ops = rest
+	t.finalize()
+	return t, nil
+}

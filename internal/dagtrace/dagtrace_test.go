@@ -1,0 +1,278 @@
+package dagtrace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// testProgram is a deterministic fork/join program with mixed reads,
+// writes, compute and continuations: a two-pass parallel stencil.
+func testProgram(sp *mem.Space, n int) job.Job {
+	a := sp.NewF64("a", n)
+	b := sp.NewF64("b", n)
+	size := func(lo, hi int) int64 { return int64(hi-lo) * 8 }
+	pass1 := job.For(0, n, 16, size, func(ctx job.Ctx, i int) {
+		a.Write(ctx, i, float64(i%7))
+		ctx.Work(3)
+	})
+	pass2 := job.For(1, n-1, 16, size, func(ctx job.Ctx, i int) {
+		b.Write(ctx, i, a.Read(ctx, i-1)+a.Read(ctx, i+1))
+	})
+	return job.FuncJob(func(ctx job.Ctx) {
+		ctx.Fork(job.FuncJob(func(c2 job.Ctx) {
+			c2.Fork(nil, pass2)
+		}), pass1)
+	})
+}
+
+func record(t *testing.T, m *machine.Desc, schedName string, seed uint64) (*Trace, *sim.Result) {
+	t.Helper()
+	sp := mem.NewSpace(m.Links, m.Links)
+	rec := NewRecorder()
+	res, err := sim.Run(sim.Config{
+		Machine: m, Space: sp, Scheduler: sched.New(schedName), Seed: seed, Listener: rec,
+	}, testProgram(sp, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res
+}
+
+func replay(t *testing.T, tr *Trace, m *machine.Desc, schedName string, seed uint64, l sim.Listener) *sim.Result {
+	t.Helper()
+	sp := mem.NewSpace(m.Links, m.Links)
+	res, err := sim.Run(sim.Config{
+		Machine: m, Space: sp, Scheduler: sched.New(schedName), Seed: seed, Listener: l,
+	}, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckResult(res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestReplayMatchesLiveAcrossSchedulers is the core soundness property:
+// record once (under ws), replay under every scheduler, and require the
+// replay Result fingerprint to be bit-identical to a live run under that
+// scheduler.
+func TestReplayMatchesLiveAcrossSchedulers(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	const seed = 7
+	tr, recRes := record(t, m, "ws", seed)
+	if tr.TaskCount != recRes.Tasks || tr.StrandCount != recRes.Strands {
+		t.Fatalf("trace counts %d/%d, result %d/%d", tr.TaskCount, tr.StrandCount, recRes.Tasks, recRes.Strands)
+	}
+	for _, sn := range []string{"ws", "pws", "cilk", "sb", "sbd", "pdf"} {
+		sp := mem.NewSpace(m.Links, m.Links)
+		live, err := sim.Run(sim.Config{
+			Machine: m, Space: sp, Scheduler: sched.New(sn), Seed: seed,
+		}, testProgram(sp, 512))
+		if err != nil {
+			t.Fatalf("%s live: %v", sn, err)
+		}
+		rep := replay(t, tr, m, sn, seed, nil)
+		if live.Fingerprint() != rep.Fingerprint() {
+			t.Errorf("%s: live fingerprint != replay fingerprint\nlive:   %s\nreplay: %s",
+				sn, live.Fingerprint(), rep.Fingerprint())
+		}
+	}
+}
+
+// TestTraceOfReplayIsIdentical re-records a replay run and requires the
+// captured trace to reproduce the original's canonical fingerprint: replay
+// is a fixed point of record.
+func TestTraceOfReplayIsIdentical(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	tr, _ := record(t, m, "ws", 7)
+	rec2 := NewRecorder()
+	replay(t, tr, m, "ws", 7, rec2)
+	tr2, err := rec2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fingerprint() != tr2.Fingerprint() {
+		t.Fatal("trace of replay differs from original trace")
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the binary codec: decode(encode(t)) must
+// preserve the canonical fingerprint and still replay identically.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	tr, _ := record(t, m, "ws", 7)
+	data := tr.Encode()
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fingerprint() != back.Fingerprint() {
+		t.Fatal("decoded trace fingerprint differs")
+	}
+	a := replay(t, tr, m, "sb", 7, nil)
+	b := replay(t, back, m, "sb", 7, nil)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("decoded trace replays differently")
+	}
+}
+
+// TestDecodeRejectsCorruption flips every byte of a small encoding in turn
+// and requires Decode to fail or at minimum never panic.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	m := machine.TwoSocket(2, 1<<14, 1<<12)
+	tr, _ := record(t, m, "ws", 3)
+	data := tr.Encode()
+	if _, err := Decode(data[:len(data)-3]); err == nil {
+		t.Error("truncated trace decoded without error")
+	}
+	for i := 0; i < len(data); i += 17 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+// TestFutureProgramsAreRejected: a ForkFuture program must abort recording
+// with ErrUnsupported (callers fall back to live execution).
+func TestFutureProgramsAreRejected(t *testing.T) {
+	m := machine.Flat(2, 1<<14)
+	sp := mem.NewSpace(1, 1)
+	f := job.NewFuture()
+	root := job.FuncJob(func(ctx job.Ctx) {
+		ctx.ForkFuture(job.FuncJob(func(c2 job.Ctx) {
+			c2.ForkAwait(job.FuncJob(func(job.Ctx) {}), []*job.Future{f})
+		}), f, job.FuncJob(func(c3 job.Ctx) { c3.Work(5) }))
+	})
+	rec := NewRecorder()
+	if _, err := sim.Run(sim.Config{
+		Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 1, Listener: rec,
+	}, root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Finish(); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Finish = %v, want ErrUnsupported", err)
+	}
+}
+
+// TestCacheSingleFlight: one recorder per key, everyone else blocks for
+// the fill; stats count one miss and the rest hits.
+func TestCacheSingleFlight(t *testing.T) {
+	m := machine.TwoSocket(2, 1<<14, 1<<12)
+	tr, _ := record(t, m, "ws", 3)
+	c := NewCache("")
+	const waiters = 8
+	got := make([]*Trace, waiters)
+	var recorders int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, rec, err := c.GetOrReserve("k")
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			if rec {
+				mu.Lock()
+				recorders++
+				mu.Unlock()
+				c.Fill("k", tr, nil)
+				w = tr
+			}
+			got[i] = w
+		}(i)
+	}
+	wg.Wait()
+	if recorders != 1 {
+		t.Fatalf("%d recorders for one key, want 1", recorders)
+	}
+	for i, w := range got {
+		if w != tr {
+			t.Fatalf("waiter %d got %p, want the filled trace", i, w)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != waiters-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", s, waiters-1)
+	}
+	if hr := s.HitRate(); hr <= 0.8 {
+		t.Fatalf("hit rate %.2f, want > 0.8", hr)
+	}
+}
+
+// TestCacheFallbackAndDrop: an ErrUnsupported fill propagates to waiters
+// as a live-fallback signal; Drop evicts so the key records again.
+func TestCacheFallbackAndDrop(t *testing.T) {
+	c := NewCache("")
+	if _, rec, _ := c.GetOrReserve("k"); !rec {
+		t.Fatal("first GetOrReserve must reserve")
+	}
+	c.Fill("k", nil, ErrUnsupported)
+	if _, rec, err := c.GetOrReserve("k"); rec || !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("after unsupported fill: rec=%v err=%v", rec, err)
+	}
+	c.Drop("k")
+	if _, rec, err := c.GetOrReserve("k"); !rec || err != nil {
+		t.Fatalf("after drop: rec=%v err=%v, want a fresh reservation", rec, err)
+	}
+	c.Fill("k", nil, ErrUnsupported)
+	if s := c.Stats(); s.Fallbacks != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 fallback / 2 misses", s)
+	}
+}
+
+// TestCacheDiskSpill: a filled trace persists to the spill directory and
+// seeds a second cache instance without re-recording.
+func TestCacheDiskSpill(t *testing.T) {
+	m := machine.TwoSocket(2, 1<<14, 1<<12)
+	tr, _ := record(t, m, "ws", 3)
+	dir := t.TempDir()
+	c1 := NewCache(dir)
+	if _, rec, _ := c1.GetOrReserve("k"); !rec {
+		t.Fatal("first GetOrReserve must reserve")
+	}
+	c1.Fill("k", tr, nil)
+	files, err := filepath.Glob(filepath.Join(dir, "*.dgtr"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spill files = %v (err %v), want exactly one", files, err)
+	}
+	c2 := NewCache(dir)
+	got, rec, err := c2.GetOrReserve("k")
+	if err != nil || rec {
+		t.Fatalf("disk reload: rec=%v err=%v", rec, err)
+	}
+	if got.Fingerprint() != tr.Fingerprint() {
+		t.Fatal("reloaded trace fingerprint differs")
+	}
+	if s := c2.Stats(); s.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit", s)
+	}
+	// A corrupt spill must be ignored, not replayed.
+	data, _ := os.ReadFile(files[0])
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3 := NewCache(dir)
+	if _, rec, _ := c3.GetOrReserve("k"); !rec {
+		t.Fatal("corrupt spill should force a fresh recording")
+	}
+}

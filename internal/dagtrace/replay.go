@@ -1,0 +1,97 @@
+package dagtrace
+
+import (
+	"repro/internal/job"
+	"repro/internal/mem"
+)
+
+// replayJob replays one recorded strand — and, through its continuation
+// chain, one recorded task. It is allocated once per trace node in the
+// Trace's job arena and is immutable, so the same value serves every
+// concurrent replay of the trace. It implements job.SBJob by returning the
+// space declarations the live run resolved: Strand.SizeBytes already holds
+// the strand→task fallback the engine applies, so replay reproduces the
+// exact sizes (including the unannotated −1 case) every scheduler saw.
+type replayJob struct {
+	t *Trace
+	n int32
+}
+
+// Run implements job.Job: replay the strand's access script, then its
+// terminal fork. Child jobs are prebuilt subslices of the trace's arenas,
+// so a replayed fork allocates nothing.
+func (j *replayJob) Run(ctx job.Ctx) {
+	t := j.t
+	n := &t.nodes[j.n]
+	replayOps(ctx, t.ops, n.opOff, n.opEnd)
+	if n.childEnd > n.childOff {
+		if n.cont >= 0 {
+			ctx.Fork(&t.jobs[n.cont], t.kids[n.childOff:n.childEnd]...)
+		} else {
+			ctx.Fork(nil, t.kids[n.childOff:n.childEnd]...)
+		}
+	}
+}
+
+// The engine's inline interpreter executes replayed strands without the
+// worker-goroutine handoff; Run above is the semantically identical
+// fallback (used, e.g., when a replay is itself being recorded).
+var _ job.Scripted = (*replayJob)(nil)
+
+// Script implements job.Scripted with the strand's slice of the trace's
+// shared op arena.
+func (j *replayJob) Script() (ops []byte, lo, hi int64) {
+	n := &j.t.nodes[j.n]
+	return j.t.ops, n.opOff, n.opEnd
+}
+
+// ScriptFork implements job.Scripted with the prebuilt fork Run would
+// perform.
+func (j *replayJob) ScriptFork() (cont job.Job, children []job.Job) {
+	t := j.t
+	n := &t.nodes[j.n]
+	if n.childEnd <= n.childOff {
+		return nil, nil
+	}
+	if n.cont >= 0 {
+		cont = &t.jobs[n.cont]
+	}
+	return cont, t.kids[n.childOff:n.childEnd]
+}
+
+// Size implements job.SBJob with the recorded S(t;B).
+func (j *replayJob) Size(int64) int64 { return j.t.nodes[j.n].taskSize }
+
+// StrandSize implements job.SBJob with the recorded S(ℓ;B).
+func (j *replayJob) StrandSize(int64) int64 { return j.t.nodes[j.n].strandSize }
+
+// replayOps is the replay inner loop: decode the strand's op stream and
+// feed it through the simulation context. The uvarint decode is hand-rolled
+// (no binary.Uvarint call, no slice re-slicing) and the zigzag is inlined,
+// so one op costs a few shifts on top of the ctx.Access the live kernel
+// would have performed anyway.
+//
+//schedlint:hotpath
+func replayOps(ctx job.Ctx, ops []byte, off, end int64) {
+	var prev int64
+	for off < end {
+		var v uint64
+		var shift uint
+		for {
+			b := ops[off]
+			off++
+			v |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		if tag := v & opTagMask; tag == opWork {
+			ctx.Work(int64(v >> opTagBits))
+		} else {
+			u := v >> opTagBits
+			prev += int64(u>>1) ^ -int64(u&1)
+			ctx.Access(mem.Addr(prev), tag == opWrite)
+		}
+	}
+}

@@ -30,8 +30,9 @@ func (r *Runner) MuSweep() ([]FigRow, error) {
 		mu := mu
 		cells = append(cells, Cell{
 			Label: fmt.Sprintf("µ = %.2f", mu), Scheduler: "SB", Machine: m, LinksUsed: m.Links,
-			MakeK: r.P.QuadtreeFactory(),
-			MakeS: func() sched.Scheduler { return sched.NewSB(sched.DefaultSigma, mu) },
+			TraceID: "quadtree", // µ only parameterizes the scheduler; all cells run the same quad-tree
+			MakeK:   r.P.QuadtreeFactory(),
+			MakeS:   func() sched.Scheduler { return sched.NewSB(sched.DefaultSigma, mu) },
 		})
 	}
 	ms, err := r.RunGrid(cells)
@@ -102,7 +103,10 @@ func (r *Runner) ChunkSensitivity() ([]FigRow, error) {
 		cost.ChunkCycles = ch
 		cells = append(cells, Cell{
 			Label: fmt.Sprintf("chunk %d", ch), Scheduler: "WS", Machine: m, LinksUsed: m.Links,
-			MakeK: r.P.RRMFactory(), MakeS: SchedulerFactories("ws")[0], Cost: cost,
+			// The chunk size lives in the cost model, not the DAG: replaying one
+			// recording under each chunk still re-simulates every interleaving.
+			TraceID: "rrm",
+			MakeK:   r.P.RRMFactory(), MakeS: SchedulerFactories("ws")[0], Cost: cost,
 		})
 	}
 	ms, err := r.RunGrid(cells)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cachesim"
+	"repro/internal/dagtrace"
 	"repro/internal/job"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -118,7 +119,11 @@ func BenchEngineParallelFor(b *testing.B) {
 }
 
 // BenchGridFig8 measures the end-to-end wall time of the quick-profile
-// Fig. 8 grid — the unit every experiment command is built from.
+// Fig. 8 grid with every cell executed live — the unit every experiment
+// command is built from, and the baseline the replay benchmark is compared
+// against. (The grid runner records and replays traces by default; that
+// steady state is measured by BenchReplayFig8, and mixing a cold-cache
+// record pass into this number would make it comparable to neither.)
 func BenchGridFig8(b *testing.B) {
 	p := Quick()
 	p.Reps = 1
@@ -126,11 +131,76 @@ func BenchGridFig8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := NewRunner(p, nullWriter{})
+		r.Traces = nil
 		if _, err := r.Fig8(); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "grid-wall-s")
+}
+
+// BenchTraceRecord measures the capture side of record-once/replay-
+// everywhere: a live quicksort run with a Recorder attached, reported per
+// recorded op (accesses + work segments) together with the encoded trace
+// density.
+func BenchTraceRecord(b *testing.B) {
+	p := Quick()
+	m := p.MachineHT()
+	mk := p.QuicksortFactory()
+	var ops, opBytes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := mem.NewSpacePaged(m.Links, m.Links, p.PageSize())
+		k := mk(sp, m, p.Seed)
+		rec := dagtrace.NewRecorder()
+		if _, err := sim.Run(sim.Config{
+			Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: p.Seed, Listener: rec,
+		}, k.Root()); err != nil {
+			b.Fatal(err)
+		}
+		tr, err := rec.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += tr.AccessOps + tr.WorkOps
+		opBytes += tr.OpBytes()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops), "ns/recorded-op")
+	b.ReportMetric(float64(opBytes)/float64(ops), "bytes/recorded-op")
+}
+
+// BenchReplayFig8 measures the steady-state replay grid: the quick-profile
+// Fig. 8 grid against a cache warmed before the timer, so every cell of
+// every iteration replays a recording instead of running kernel closures.
+func BenchReplayFig8(b *testing.B) {
+	p := Quick()
+	p.Reps = 1
+	cache := dagtrace.NewCache("")
+	warm := NewRunner(p, nullWriter{})
+	warm.Traces = cache
+	warm.KeepTraces = true
+	if _, err := warm.Fig8(); err != nil {
+		b.Fatal(err)
+	}
+	before := cache.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(p, nullWriter{})
+		r.Traces = cache
+		r.KeepTraces = true
+		if _, err := r.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "grid-wall-s")
+	s := cache.Stats()
+	hits := float64(s.Hits - before.Hits + s.DiskHits - before.DiskHits)
+	total := hits + float64(s.Misses-before.Misses) + float64(s.Fallbacks-before.Fallbacks)
+	if total > 0 {
+		b.ReportMetric(hits/total, "trace-hit-rate")
+	}
 }
 
 type nullWriter struct{}
@@ -147,6 +217,8 @@ var benchSuite = []struct {
 	{"access_random", BenchAccessRandom},
 	{"engine_parallel_for", BenchEngineParallelFor},
 	{"grid_fig8_quick", BenchGridFig8},
+	{"trace_record", BenchTraceRecord},
+	{"replay_fig8", BenchReplayFig8},
 }
 
 // RunBenchSuite executes the harness and collects a BenchReport.

@@ -11,3 +11,5 @@ func BenchmarkHarnessAccessStream(b *testing.B) { BenchAccessStream(b) }
 func BenchmarkHarnessAccessRandom(b *testing.B) { BenchAccessRandom(b) }
 func BenchmarkHarnessEngine(b *testing.B)       { BenchEngineParallelFor(b) }
 func BenchmarkHarnessGridFig8(b *testing.B)     { BenchGridFig8(b) }
+func BenchmarkHarnessTraceRecord(b *testing.B)  { BenchTraceRecord(b) }
+func BenchmarkHarnessReplayFig8(b *testing.B)   { BenchReplayFig8(b) }

@@ -10,9 +10,9 @@ import (
 
 type nopListener struct{}
 
-func (nopListener) StrandSpawned(s *job.Strand) {}
-func (nopListener) StrandStarted(s *job.Strand) {}
-func (nopListener) StrandEnded(s *job.Strand)   {}
+func (nopListener) StrandSpawned(s *job.Strand)      {}
+func (nopListener) StrandStarted(s *job.Strand)      {}
+func (nopListener) StrandEnded(s *job.Strand)        {}
 func (nopListener) TaskEnded(t *job.Task, now int64) {}
 
 func TestScratchFastPathEquivalence(t *testing.T) {

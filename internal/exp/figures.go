@@ -229,7 +229,8 @@ func (r *Runner) Fig10() ([]FigRow, error) {
 			distributed := variant == "SB-D"
 			cells = append(cells, Cell{
 				Label: fmt.Sprintf("σ = %.1f", sg), Scheduler: variant, Machine: m, LinksUsed: m.Links,
-				MakeK: r.P.QuadtreeFactory(),
+				TraceID: "quadtree", // σ only parameterizes the scheduler; all cells run the same quad-tree
+				MakeK:   r.P.QuadtreeFactory(),
 				MakeS: func() sched.Scheduler {
 					if distributed {
 						return sched.NewSBD(sg, sched.DefaultMu)

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/dagtrace"
 	"repro/internal/mem"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -93,6 +94,106 @@ func TestGoldenDeterminism(t *testing.T) {
 				checkGolden(t, k.name+"/"+sc, res.Fingerprint())
 			})
 		}
+	}
+}
+
+// TestLiveReplayEquivalence is the soundness gate for record-once/
+// replay-everywhere: for every kernel in the quick profile, record one
+// execution (under ws), then require that replaying the capture under
+// EVERY scheduler produces a Result fingerprint bit-identical to a live
+// run of the kernel's closures under that scheduler. It also pins the two
+// auxiliary identities the design rests on: the recording run itself
+// matches the live run (attaching the recorder perturbs nothing), and
+// re-recording a replay reproduces the original trace (replay is a fixed
+// point of record).
+func TestLiveReplayEquivalence(t *testing.T) {
+	p := Quick()
+	m := p.MachineHT()
+	kernels := []struct {
+		name string
+		mk   KernelFactory
+	}{
+		{"rrm", p.RRMFactory()},
+		{"rrg", p.RRGFactory()},
+		{"quicksort", p.QuicksortFactory()},
+		{"samplesort", p.SamplesortFactory()},
+		{"awaresamplesort", p.AwareSamplesortFactory()},
+		{"quadtree", p.QuadtreeFactory()},
+		{"matmul", p.MatMulFactory()},
+	}
+	schedulers := []string{"ws", "pws", "cilk", "sb", "sbd", "pdf"}
+	if raceDetectorEnabled {
+		// The full matrix is ~100 simulated runs and exceeds the package
+		// test timeout under the race detector's slowdown. Keep one
+		// data-parallel and one fork-heavy kernel and one scheduler per
+		// family; the full matrix runs in the regular suite and in
+		// `make bench-replay`.
+		trimmed := kernels[:0:0]
+		for _, k := range kernels {
+			if k.name == "rrm" || k.name == "quicksort" {
+				trimmed = append(trimmed, k)
+			}
+		}
+		kernels = trimmed
+		schedulers = []string{"ws", "sb"}
+	}
+	live := func(k KernelFactory, sc string, l sim.Listener) *sim.Result {
+		t.Helper()
+		sp := mem.NewSpacePaged(m.Links, m.Links, p.PageSize())
+		kern := k(sp, m, p.Seed)
+		res, err := sim.Run(sim.Config{
+			Machine: m, Space: sp, Scheduler: SchedulerFactories(sc)[0](), Seed: p.Seed, Listener: l,
+		}, kern.Root())
+		if err != nil {
+			t.Fatalf("live %s: %v", sc, err)
+		}
+		if err := kern.Verify(); err != nil {
+			t.Fatalf("live %s: verify: %v", sc, err)
+		}
+		return res
+	}
+	replay := func(tr *dagtrace.Trace, sc string, l sim.Listener) *sim.Result {
+		t.Helper()
+		sp := mem.NewSpacePaged(m.Links, m.Links, p.PageSize())
+		res, err := sim.Run(sim.Config{
+			Machine: m, Space: sp, Scheduler: SchedulerFactories(sc)[0](), Seed: p.Seed, Listener: l,
+		}, tr.Root())
+		if err != nil {
+			t.Fatalf("replay %s: %v", sc, err)
+		}
+		if err := tr.CheckResult(res); err != nil {
+			t.Fatalf("replay %s: %v", sc, err)
+		}
+		return res
+	}
+	for _, k := range kernels {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			rec := dagtrace.NewRecorder()
+			recRes := live(k.mk, "ws", rec)
+			tr, err := rec.Finish()
+			if err != nil {
+				t.Fatalf("recording: %v", err)
+			}
+			if got, want := recRes.Fingerprint(), live(k.mk, "ws", nil).Fingerprint(); got != want {
+				t.Fatalf("recording run diverged from plain live run")
+			}
+			for _, sc := range schedulers {
+				if got, want := replay(tr, sc, nil).Fingerprint(), live(k.mk, sc, nil).Fingerprint(); got != want {
+					t.Errorf("%s/%s: replay fingerprint differs from live", k.name, sc)
+				}
+			}
+			rec2 := dagtrace.NewRecorder()
+			replay(tr, "ws", rec2)
+			tr2, err := rec2.Finish()
+			if err != nil {
+				t.Fatalf("re-recording replay: %v", err)
+			}
+			if tr.Fingerprint() != tr2.Fingerprint() {
+				t.Errorf("%s: trace of replay differs from original trace", k.name)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceDetectorEnabled trims the heaviest test matrices when the race
+// detector multiplies simulation cost ~10×; the full matrices run in the
+// regular suite and in `make bench-replay`.
+const raceDetectorEnabled = true

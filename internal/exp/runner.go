@@ -5,12 +5,13 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/dagtrace"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -33,6 +34,12 @@ type Cell struct {
 	// Cost overrides the default cost model (zero value = defaults);
 	// used by the ablation experiments.
 	Cost sched.CostModel
+	// TraceID overrides Label as the trace-cache identity of the cell's
+	// computation. Sweeps that vary only a scheduler or cost parameter
+	// (Fig. 10's σ, the µ and chunk ablations) bake the varied value into
+	// Label for display; setting one TraceID across those cells lets them
+	// share a single recording. Empty means Label identifies the kernel.
+	TraceID string
 }
 
 // Metrics aggregates one cell's repetitions. Times are in seconds at the
@@ -59,11 +66,20 @@ type Runner struct {
 	Workers int
 	// Verbose prints each run as it completes.
 	Verbose bool
+	// Traces, when non-nil, records each distinct computation (kernel ×
+	// seed) once and replays the capture in every other cell sharing it —
+	// scheduler, bandwidth and cost sweeps re-simulate the identical DAG
+	// without re-running kernel closures. nil runs every cell live.
+	Traces *dagtrace.Cache
+	// KeepTraces retains traces in memory after their last grid cell
+	// finishes (default: evict per group to bound grid memory).
+	KeepTraces bool
 }
 
-// NewRunner returns a Runner writing tables to out.
+// NewRunner returns a Runner writing tables to out, with an in-memory
+// trace cache enabled.
 func NewRunner(p Profile, out io.Writer) *Runner {
-	return &Runner{P: p, Out: out}
+	return &Runner{P: p, Out: out, Traces: dagtrace.NewCache("")}
 }
 
 // RunCell executes one cell: Reps repetitions with distinct seeds.
@@ -72,23 +88,19 @@ func (r *Runner) RunCell(c Cell) (Metrics, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	var active, over, empty, wall, misses, stall []float64
+	// Per-rep metric samples, sized up front: reps is known, so the append
+	// path never regrows.
+	active := make([]float64, 0, reps)
+	over := make([]float64, 0, reps)
+	empty := make([]float64, 0, reps)
+	wall := make([]float64, 0, reps)
+	misses := make([]float64, 0, reps)
+	stall := make([]float64, 0, reps)
 	for rep := 0; rep < reps; rep++ {
 		seed := r.P.Seed + uint64(rep)
-		sp := mem.NewSpacePaged(c.Machine.Links, c.LinksUsed, r.P.PageSize())
-		k := c.MakeK(sp, c.Machine, seed)
-		res, err := sim.Run(sim.Config{
-			Machine:   c.Machine,
-			Space:     sp,
-			Scheduler: c.MakeS(),
-			Cost:      c.Cost,
-			Seed:      seed,
-		}, k.Root())
+		res, err := r.runRep(c, seed)
 		if err != nil {
 			return Metrics{}, fmt.Errorf("exp: %s/%s rep %d: %w", c.Label, c.Scheduler, rep, err)
-		}
-		if err := k.Verify(); err != nil {
-			return Metrics{}, fmt.Errorf("exp: %s/%s rep %d: output verification failed: %w", c.Label, c.Scheduler, rep, err)
 		}
 		active = append(active, res.ActiveSeconds())
 		over = append(over, res.OverheadSeconds())
@@ -108,8 +120,11 @@ func (r *Runner) RunCell(c Cell) (Metrics, error) {
 	}, nil
 }
 
-// RunGrid executes cells (in order) with bounded host parallelism and
-// returns metrics in the same order.
+// RunGrid executes cells with bounded host parallelism and returns metrics
+// in input order. With a trace cache, the first cell of every trace group
+// is dispatched ahead of the rest (so recordings start immediately and
+// replays never queue behind them), and a group's traces are evicted as
+// soon as its last cell completes.
 func (r *Runner) RunGrid(cells []Cell) ([]Metrics, error) {
 	workers := r.Workers
 	if workers <= 0 {
@@ -120,6 +135,7 @@ func (r *Runner) RunGrid(cells []Cell) ([]Metrics, error) {
 	}
 	out := make([]Metrics, len(cells))
 	errs := make([]error, len(cells))
+	groups := r.groupCounters(cells)
 	var wg sync.WaitGroup
 	// outMu serializes verbose progress lines: cell workers complete
 	// concurrently and io.Writer implementations are not safe for
@@ -133,6 +149,9 @@ func (r *Runner) RunGrid(cells []Cell) ([]Metrics, error) {
 			defer wg.Done()
 			for i := range idx {
 				out[i], errs[i] = r.RunCell(cells[i])
+				if groups != nil && atomic.AddInt32(groups[i], -1) == 0 {
+					r.dropTraces(cells[i])
+				}
 				if r.Verbose && errs[i] == nil {
 					outMu.Lock()
 					fmt.Fprintf(r.Out, "# done %-16s %-8s bw=%d/%d: time=%.4gs L3=%.4g\n",
@@ -143,7 +162,7 @@ func (r *Runner) RunGrid(cells []Cell) ([]Metrics, error) {
 			}
 		}()
 	}
-	for i := range cells {
+	for _, i := range r.gridOrder(cells) {
 		idx <- i
 	}
 	close(idx)

@@ -1,0 +1,22 @@
+package job
+
+// Scripted is implemented by jobs whose strand body is a prerecorded op
+// script (see internal/opcode for the bytecode) rather than live Go
+// code. The simulator may execute such a strand inline on its own
+// goroutine — decoding ops and charging their costs directly — instead
+// of resuming the worker goroutine to call Run, which removes the
+// per-strand channel handoff and the per-op interface dispatch from
+// replay runs. Run must remain a faithful fallback: executing it through
+// a Ctx must perform exactly the accesses, work charges and terminal
+// fork that Script/ScriptFork describe.
+type Scripted interface {
+	Job
+	// Script returns the strand's encoded op stream: the shared arena and
+	// the [lo, hi) byte range holding this strand's ops. Address deltas
+	// decode against a previous address starting at 0.
+	Script() (ops []byte, lo, hi int64)
+	// ScriptFork returns the strand's terminal fork: the continuation (nil
+	// when the parallel block has none) and the child jobs. An empty child
+	// list means the strand ends without forking; cont must be nil then.
+	ScriptFork() (cont Job, children []Job)
+}

@@ -1,0 +1,37 @@
+// Package opcode defines the strand op-stream bytecode shared by the
+// dagtrace recorder (which emits it) and the sim engine's inline script
+// interpreter (which executes it without goroutine handoff). It lives
+// below both packages because dagtrace imports sim for the listener
+// interfaces, so sim cannot import dagtrace back.
+//
+// Every op is one uvarint whose low TagBits bits are the tag. Reads and
+// writes carry a zigzag address delta against the strand's previous
+// address (starting at 0); work ops carry the cycle count.
+package opcode
+
+const (
+	Read  = 0
+	Write = 1
+	Work  = 2
+
+	TagBits = 2
+	TagMask = 1<<TagBits - 1
+)
+
+// Zigzag maps signed deltas to unsigned so small magnitudes of either
+// sign encode in few bytes.
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendUvarint is binary.AppendUvarint without the interface
+// indirection, kept here so the recorder's per-access path stays
+// inlinable.
+func AppendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}

@@ -21,6 +21,12 @@ type PDF struct {
 	lock  int
 	pool  []*job.Strand
 	items int
+
+	// Charge constants cached at Setup (same rationale as SB: the helpers
+	// run on every queue operation, and env.Cost() copies a struct).
+	costBase int64
+	costOp   int64
+	costLock int64
 }
 
 // NewPDF returns the centralized depth-first scheduler.
@@ -35,40 +41,40 @@ func (p *PDF) Setup(env Env) {
 	p.lock = env.NewLock()
 	p.pool = nil
 	p.items = 0
+	c := env.Cost()
+	p.costBase, p.costOp, p.costLock = c.CallbackBase, c.QueueOp, c.LockHold
 }
 
 // Add implements Scheduler: push onto the shared DF stack.
 func (p *PDF) Add(s *job.Strand, worker int) {
-	c := p.env.Cost()
-	p.env.Charge(worker, c.CallbackBase)
-	p.env.Lock(worker, p.lock, c.LockHold)
+	p.env.Charge(worker, p.costBase)
+	p.env.Lock(worker, p.lock, p.costLock)
 	p.pool = append(p.pool, s)
 	p.items++
-	p.env.Charge(worker, c.QueueOp)
+	p.env.Charge(worker, p.costOp)
 }
 
 // Get implements Scheduler: pop the top of the shared DF stack.
 func (p *PDF) Get(worker int) *job.Strand {
-	c := p.env.Cost()
-	p.env.Charge(worker, c.CallbackBase)
+	p.env.Charge(worker, p.costBase)
 	if p.items == 0 {
 		p.env.Charge(worker, peekCost)
 		return nil
 	}
-	p.env.Lock(worker, p.lock, c.LockHold)
+	p.env.Lock(worker, p.lock, p.costLock)
 	if len(p.pool) == 0 {
 		return nil
 	}
 	s := p.pool[len(p.pool)-1]
 	p.pool = p.pool[:len(p.pool)-1]
 	p.items--
-	p.env.Charge(worker, c.QueueOp)
+	p.env.Charge(worker, p.costOp)
 	return s
 }
 
 // Done implements Scheduler.
 func (p *PDF) Done(s *job.Strand, worker int) {
-	p.env.Charge(worker, p.env.Cost().CallbackBase)
+	p.env.Charge(worker, p.costBase)
 }
 
 // TaskEnd implements Scheduler.

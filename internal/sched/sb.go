@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/job"
+	"repro/internal/machine"
 )
 
 // Default dilation and strand-occupancy parameters: "We use σ = 0.5 and
@@ -61,6 +62,24 @@ type SB struct {
 	// BoundRejects counts anchoring attempts rejected by the boundedness
 	// check, for diagnostics.
 	BoundRejects int64
+
+	// Host-side scratch and free lists: anchoring and strand-occupancy
+	// records are recycled once released, so the steady-state callbacks
+	// allocate nothing. Purely an implementation detail — simulated costs
+	// (Charge/Lock) are identical with or without recycling.
+	targets []*sbNode
+	freeTS  []*sbTaskState
+	freeSS  []*sbStrandState
+
+	// Cached at Setup: the machine description, the charge constants, and
+	// each leaf's root-to-leaf node path, so the per-callback helpers avoid
+	// an interface call (and a CostModel struct copy) per queue operation
+	// and the idle-poll walk avoids Desc.NodeOf divisions per level.
+	m        *machine.Desc
+	path     [][]*sbNode // [leaf][level]
+	costBase int64
+	costOp   int64
+	costLock int64
 }
 
 // sbNode is the scheduler's view of one cache (or of the root memory).
@@ -131,6 +150,9 @@ func (b *SB) Name() string { return b.name }
 func (b *SB) Setup(env Env) {
 	b.env = env
 	m := env.Machine()
+	b.m = m
+	c := env.Cost()
+	b.costBase, b.costOp, b.costLock = c.CallbackBase, c.QueueOp, c.LockHold
 	b.maxLevel = m.CacheLevels()
 	b.block = m.Block()
 	b.nodes = make([][]*sbNode, b.maxLevel+1)
@@ -161,11 +183,19 @@ func (b *SB) Setup(env Env) {
 			b.nodes[lvl][id] = nd
 		}
 	}
+	b.path = make([][]*sbNode, m.NumCores())
+	for leaf := range b.path {
+		path := make([]*sbNode, b.maxLevel+1)
+		for lvl := 0; lvl <= b.maxLevel; lvl++ {
+			path[lvl] = b.nodes[lvl][m.NodeOf(lvl, leaf)]
+		}
+		b.path[leaf] = path
+	}
 }
 
 // sigmaM returns σM for a cache level.
 func (b *SB) sigmaM(level int) int64 {
-	return int64(b.Sigma * float64(b.env.Machine().Levels[level].Size))
+	return int64(b.Sigma * float64(b.m.Levels[level].Size))
 }
 
 // befit returns the befitting level for a task of the given size: the
@@ -188,11 +218,11 @@ func (b *SB) befit(size int64) int {
 // (a single shared-counter load).
 const peekCost = 2
 
-func (b *SB) base(worker int)     { b.env.Charge(worker, b.env.Cost().CallbackBase) }
-func (b *SB) op(worker int)       { b.env.Charge(worker, b.env.Cost().QueueOp) }
-func (b *SB) lock(worker, id int) { b.env.Lock(worker, id, b.env.Cost().LockHold) }
+func (b *SB) base(worker int)     { b.env.Charge(worker, b.costBase) }
+func (b *SB) op(worker int)       { b.env.Charge(worker, b.costOp) }
+func (b *SB) lock(worker, id int) { b.env.Lock(worker, id, b.costLock) }
 func (b *SB) nodeOf(level, leaf int) *sbNode {
-	return b.nodes[level][b.env.Machine().NodeOf(level, leaf)]
+	return b.path[leaf][level]
 }
 
 // anchorOf returns the (level, id) anchor of t, treating the unanchored
@@ -206,7 +236,7 @@ func anchorOf(t *job.Task) (int, int) {
 
 // childIndex returns which child cluster of node nd the given leaf is in.
 func (b *SB) childIndex(nd *sbNode, leaf int) int {
-	m := b.env.Machine()
+	m := b.m
 	cover := m.CoresPerNode(nd.level)
 	fan := m.Levels[nd.level].Fanout
 	sub := cover / fan
@@ -218,7 +248,7 @@ func (b *SB) childIndex(nd *sbNode, leaf int) int {
 // case pushTop takes the appropriate child-queue lock itself.
 func (b *SB) pushTop(nd *sbNode, s *job.Strand, worker int) {
 	if b.distributed {
-		c := b.childIndex(nd, b.env.Machine().LeafOf(worker))
+		c := b.childIndex(nd, b.m.LeafOf(worker))
 		b.lock(worker, nd.topLock[c])
 		nd.topQ[c] = append(nd.topQ[c], s)
 	} else {
@@ -291,10 +321,10 @@ func (b *SB) tryAnchor(t *job.Task, paLvl, j, leaf, worker int) bool {
 	// hierarchies; on non-inclusive machines only the befitting cache (a
 	// type-(a) occupier) is charged.
 	from := paLvl + 1
-	if b.env.Machine().NonInclusive {
+	if b.m.NonInclusive {
 		from = j
 	}
-	targets := make([]*sbNode, 0, j-from+1)
+	b.targets = b.targets[:0]
 	for lvl := from; lvl <= j; lvl++ {
 		nd := b.nodeOf(lvl, leaf)
 		b.lock(worker, nd.lock)
@@ -302,15 +332,21 @@ func (b *SB) tryAnchor(t *job.Task, paLvl, j, leaf, worker int) bool {
 			b.BoundRejects++
 			return false
 		}
-		targets = append(targets, nd)
+		b.targets = append(b.targets, nd)
 	}
-	st := &sbTaskState{}
-	for _, nd := range targets {
+	var st *sbTaskState
+	if n := len(b.freeTS); n > 0 {
+		st = b.freeTS[n-1]
+		b.freeTS = b.freeTS[:n-1]
+	} else {
+		st = &sbTaskState{}
+	}
+	for _, nd := range b.targets {
 		nd.occ += size
 		st.charges = append(st.charges, sbCharge{nd.level, nd.id, size})
 	}
 	t.AnchorLevel = j
-	t.AnchorNode = b.env.Machine().NodeOf(j, leaf)
+	t.AnchorNode = b.m.NodeOf(j, leaf)
 	t.Sched = st
 	b.Anchors[j]++
 	return true
@@ -328,7 +364,7 @@ func (b *SB) chargeStrand(s *job.Strand, leaf int) {
 	var st *sbStrandState
 	for k := lvl + 1; k <= b.maxLevel; k++ {
 		nd := b.nodeOf(k, leaf)
-		amt := int64(b.Mu * float64(b.env.Machine().Levels[k].Size))
+		amt := int64(b.Mu * float64(b.m.Levels[k].Size))
 		if size < amt {
 			amt = size
 		}
@@ -337,7 +373,12 @@ func (b *SB) chargeStrand(s *job.Strand, leaf int) {
 		}
 		nd.occ += amt
 		if st == nil {
-			st = &sbStrandState{}
+			if n := len(b.freeSS); n > 0 {
+				st = b.freeSS[n-1]
+				b.freeSS = b.freeSS[:n-1]
+			} else {
+				st = &sbStrandState{}
+			}
 		}
 		st.charges = append(st.charges, sbCharge{k, nd.id, amt})
 	}
@@ -359,7 +400,11 @@ func (b *SB) takeFromBucket(nd *sbNode, bucketIdx, leaf, worker int) *job.Strand
 				continue
 			}
 		}
-		nd.buckets[bucketIdx] = append(bucket[:i:i], bucket[i+1:]...)
+		// Remove in place (order-preserving, like deleting element i from
+		// a fresh copy, but without the copy or its allocation).
+		copy(bucket[i:], bucket[i+1:])
+		bucket[len(bucket)-1] = nil
+		nd.buckets[bucketIdx] = bucket[:len(bucket)-1]
 		nd.items--
 		return s
 	}
@@ -372,7 +417,7 @@ func (b *SB) takeFromBucket(nd *sbNode, bucketIdx, leaf, worker int) *job.Strand
 // tasks on the way when the boundedness check allows.
 func (b *SB) Get(worker int) *job.Strand {
 	b.base(worker)
-	leaf := b.env.Machine().LeafOf(worker)
+	leaf := b.m.LeafOf(worker)
 	for lvl := b.maxLevel; lvl >= 0; lvl-- {
 		nd := b.nodeOf(lvl, leaf)
 		// Unlocked emptiness peek: idle cores must not convoy on the
@@ -448,6 +493,8 @@ func (b *SB) Done(s *job.Strand, worker int) {
 		nd.occ -= c.amt
 	}
 	s.Sched = nil
+	st.charges = st.charges[:0]
+	b.freeSS = append(b.freeSS, st)
 }
 
 // TaskEnd implements Scheduler: release the anchored space of t.
@@ -462,6 +509,8 @@ func (b *SB) TaskEnd(t *job.Task, worker int) {
 		nd.occ -= c.amt
 	}
 	t.Sched = nil
+	st.charges = st.charges[:0]
+	b.freeTS = append(b.freeTS, st)
 }
 
 // Occupancy returns the current occupancy of the cache at (level, id), for

@@ -46,6 +46,38 @@ type Listener interface {
 	TaskEnded(t *job.Task, now int64)
 }
 
+// TraceListener extends Listener with program-level events: the memory
+// accesses and compute charges each strand performs, and the terminal fork
+// that ends it. A Listener that also implements TraceListener observes the
+// complete schedule-independent computation — enough to replay it later
+// under a different scheduler — at the cost of one call per access. All
+// methods are called on the engine goroutine while the engine is parked,
+// in exact simulated order.
+type TraceListener interface {
+	Listener
+	// StrandAccess reports one memory access performed by strand s, in
+	// program order, before its cache cost is simulated.
+	StrandAccess(s *job.Strand, a mem.Addr, write bool)
+	// StrandWork reports a positive compute charge by strand s.
+	StrandWork(s *job.Strand, cycles int64)
+	// StrandForked reports the terminal fork of s as it ends: whether a
+	// continuation was registered, how many child tasks were forked, and
+	// whether futures are involved (ForkFuture body or ForkAwait
+	// dependencies). A strand that returned without forking reports
+	// (false, 0, false).
+	StrandForked(s *job.Strand, hasCont bool, children int, futures bool)
+}
+
+// PoolSafe marks a Listener that retains no *job.Task or *job.Strand
+// pointer past the event call that delivers it (storing IDs or copied
+// field values instead). The engine keeps task/strand pooling enabled
+// when the configured Listener declares this; for any other Listener
+// pooling is disabled, since a recycled object would mutate under the
+// listener's feet.
+type PoolSafe interface {
+	PoolSafeListener()
+}
+
 // Config describes one simulation run.
 type Config struct {
 	// Machine is the PMH to simulate. Required.
@@ -146,6 +178,11 @@ type engine struct {
 	// curBucket attributes Env charges to the call-back being executed.
 	curBucket int
 
+	// rec receives program-level record events (StrandAccess/StrandWork/
+	// StrandForked) when cfg.Listener also implements TraceListener; nil
+	// otherwise, so the per-access hot-path cost is a single nil check.
+	rec TraceListener
+
 	// pool enables task/strand recycling. Recycling is only sound when no
 	// Listener can retain pointers past an object's lifetime; the engine
 	// itself drops every reference to a non-root strand at the end of its
@@ -167,6 +204,12 @@ func newEngine(cfg Config) *engine {
 		sch:  cfg.Scheduler,
 		cost: cfg.Cost,
 		pool: cfg.Listener == nil,
+	}
+	if _, ok := cfg.Listener.(PoolSafe); ok {
+		e.pool = true
+	}
+	if tl, ok := cfg.Listener.(TraceListener); ok {
+		e.rec = tl
 	}
 	n := e.m.NumCores()
 	e.workers = make([]*worker, n)
@@ -371,6 +414,9 @@ func (e *engine) finishStrand(w *worker) {
 	}
 	e.callDone(s, w)
 	rec := w.takeFork()
+	if e.rec != nil {
+		e.rec.StrandForked(s, rec.cont != nil, len(rec.children), rec.futureHandle != nil || len(rec.awaits) > 0)
+	}
 	w.cur = nil
 	e.liveStrands--
 	e.curSpawner = s
@@ -625,11 +671,10 @@ func (e *engine) run(src Source) (res *Result, err error) {
 //schedlint:hotpath
 func (e *engine) drainIdle(w *worker) {
 	for e.heap.len() > 0 {
-		u := e.heap.peek()
-		if u.clock > w.virtualPop || (u.clock == w.virtualPop && u.id > w.id) {
+		if p := e.heap.peek(); p.clock > w.virtualPop || (p.clock == w.virtualPop && p.id > w.id) {
 			return
 		}
-		u = e.heap.pop()
+		u := e.heap.pop()
 		// Step u while it stays both below the replay limit and ahead of
 		// the rest of the heap, so repeated idle polls (IdleBackoff apart)
 		// cost one pop/push instead of one each.
@@ -671,6 +716,16 @@ func (e *engine) step(w *worker) {
 		}
 		w.cur = s
 		w.begin(e)
+		e.beginInline(w, s.Job)
+	}
+	if w.script != nil {
+		if !e.runInline(w) {
+			return // real chunk boundary; resumes when earliest again
+		}
+		w.script, w.sjob = nil, nil
+		e.drainIdle(w)
+		e.finishStrand(w)
+		return
 	}
 	msg := w.runChunk()
 	switch msg.kind {

@@ -3,27 +3,39 @@ package sim
 // workerHeap orders workers by (clock, id) so the engine always advances
 // the earliest worker, with a deterministic tie-break. A hand-rolled binary
 // heap avoids container/heap's interface allocations in the hottest loop of
-// the simulator.
+// the simulator, and the ordering key is stored inline in the heap array:
+// sift comparisons then touch a small contiguous slice instead of chasing
+// 64 *worker pointers through host cache. A worker's clock only changes
+// while it is out of the heap, so the key copied at push time stays valid.
+type heapItem struct {
+	clock int64
+	id    int
+	w     *worker
+}
+
 type workerHeap struct {
-	ws []*worker
+	its []heapItem
 }
 
 func (h *workerHeap) init(ws []*worker) {
-	h.ws = append(h.ws[:0], ws...)
-	for i := len(h.ws)/2 - 1; i >= 0; i-- {
+	h.its = h.its[:0]
+	for _, w := range ws {
+		h.its = append(h.its, heapItem{clock: w.clock, id: w.id, w: w})
+	}
+	for i := len(h.its)/2 - 1; i >= 0; i-- {
 		h.down(i)
 	}
 }
 
 func (h *workerHeap) less(i, j int) bool {
-	a, b := h.ws[i], h.ws[j]
+	a, b := &h.its[i], &h.its[j]
 	if a.clock != b.clock {
 		return a.clock < b.clock
 	}
 	return a.id < b.id
 }
 
-func (h *workerHeap) swap(i, j int) { h.ws[i], h.ws[j] = h.ws[j], h.ws[i] }
+func (h *workerHeap) swap(i, j int) { h.its[i], h.its[j] = h.its[j], h.its[i] }
 
 func (h *workerHeap) up(i int) {
 	for i > 0 {
@@ -37,7 +49,7 @@ func (h *workerHeap) up(i int) {
 }
 
 func (h *workerHeap) down(i int) {
-	n := len(h.ws)
+	n := len(h.its)
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
@@ -55,25 +67,26 @@ func (h *workerHeap) down(i int) {
 	}
 }
 
-// peek returns the earliest worker without removing it.
-func (h *workerHeap) peek() *worker { return h.ws[0] }
+// peek returns the (clock, id) key of the earliest worker without removing
+// it.
+func (h *workerHeap) peek() heapItem { return h.its[0] }
 
 // pop removes and returns the earliest worker.
 func (h *workerHeap) pop() *worker {
-	w := h.ws[0]
-	last := len(h.ws) - 1
-	h.ws[0] = h.ws[last]
-	h.ws = h.ws[:last]
+	w := h.its[0].w
+	last := len(h.its) - 1
+	h.its[0] = h.its[last]
+	h.its = h.its[:last]
 	if last > 0 {
 		h.down(0)
 	}
 	return w
 }
 
-// push re-inserts a worker after its clock advanced.
+// push (re-)inserts a worker, keying it by its current clock.
 func (h *workerHeap) push(w *worker) {
-	h.ws = append(h.ws, w)
-	h.up(len(h.ws) - 1)
+	h.its = append(h.its, heapItem{clock: w.clock, id: w.id, w: w})
+	h.up(len(h.its) - 1)
 }
 
-func (h *workerHeap) len() int { return len(h.ws) }
+func (h *workerHeap) len() int { return len(h.its) }

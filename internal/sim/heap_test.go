@@ -22,7 +22,7 @@ func TestWorkerHeapOrdering(t *testing.T) {
 		for step := 0; step < 200; step++ {
 			w := h.pop()
 			// Every other live worker must not be earlier.
-			for _, o := range h.ws {
+			for _, o := range h.its {
 				if o.clock < w.clock || (o.clock == w.clock && o.id < w.id) {
 					return false
 				}

@@ -64,6 +64,17 @@ type worker struct {
 	// engine can later replay the idle polls that ordered before it.
 	virtualPop int64
 
+	// Inline-script state (engine.runInline). script is non-nil iff the
+	// current strand is a job.Scripted executing on the engine goroutine
+	// instead of this worker's goroutine; sip/send delimit the remaining
+	// ops and sprev is the delta-decoding previous address, saved across
+	// chunk yields.
+	script []byte
+	sjob   job.Scripted
+	sip    int64
+	send   int64
+	sprev  int64
+
 	// Terminal-fork record for the current strand.
 	fork forkRec
 }
@@ -186,10 +197,15 @@ func (c *wctx) spend(cycles int64) {
 }
 
 // Access implements job.Ctx (and mem.Accessor): simulate the access on the
-// worker's cache path and charge its cost.
+// worker's cache path and charge its cost. The access is reported to the
+// trace recorder (when armed) before simulation, so recorded op streams are
+// in exact program order regardless of cache state.
 //
 //schedlint:hotpath
 func (c *wctx) Access(a mem.Addr, write bool) {
+	if r := c.e.rec; r != nil {
+		r.StrandAccess(c.w.cur, a, write)
+	}
 	cost, _ := c.e.h.Access(c.w.leaf, c.w.clock, a, write)
 	c.spend(cost)
 }
@@ -198,6 +214,9 @@ func (c *wctx) Access(a mem.Addr, write bool) {
 func (c *wctx) Work(cycles int64) {
 	if cycles <= 0 {
 		return
+	}
+	if r := c.e.rec; r != nil {
+		r.StrandWork(c.w.cur, cycles)
 	}
 	c.spend(cycles)
 }
