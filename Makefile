@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-vettool bench bench-replay check
+.PHONY: all build test race lint lint-vettool bench bench-replay fuzz check
 
 all: build test lint
 
@@ -39,6 +39,14 @@ bench-replay:
 	$(GO) test ./internal/exp/ -run TestLiveReplayEquivalence -count=1 -v > bin/replay_equiv.log 2>&1 || { cat bin/replay_equiv.log; exit 1; }
 	grep -q -- "--- PASS: TestLiveReplayEquivalence" bin/replay_equiv.log
 	$(GO) run ./cmd/schedbench -profile quick -experiment fig8 -mintracehit 50
+
+# fuzz smoke-runs the opcode codec fuzz targets for a few seconds each
+# (go test accepts exactly one -fuzz pattern per invocation, hence three
+# runs). Corpus additions land under internal/opcode/testdata/fuzz/.
+fuzz:
+	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzUvarintRoundTrip$$' -fuzztime 5s
+	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzUvarintDecode$$' -fuzztime 5s
+	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzZigzagRoundTrip$$' -fuzztime 5s
 
 # check is the full pre-push gate: everything CI enforces that can run
 # offline (staticcheck and govulncheck need their pinned tools installed;

@@ -9,7 +9,7 @@
 //	schedbench -experiment machine             # print the Fig. 4 machine
 //
 // Experiments: machine, fig5, fig6, fig7, fig8, fig9, fig10, validate,
-// model, all.
+// model, resilience, all.
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: machine|fig5|fig6|fig7|fig8|fig9|fig10|validate|model|all")
+		experiment = flag.String("experiment", "all", "which experiment to run: machine|fig5|fig6|fig7|fig8|fig9|fig10|validate|model|resilience|all")
 		profile    = flag.String("profile", "paper", "experiment scale: paper|quick")
 		reps       = flag.Int("reps", 0, "override repetitions per cell (0 = profile default)")
 		seed       = flag.Uint64("seed", 0, "override base seed (0 = profile default)")
@@ -42,6 +42,35 @@ func main() {
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Reject contradictory flag combinations up front, before any work
+	// runs, so a typo'd invocation fails in milliseconds instead of after
+	// a long grid. Exit code 2 matches flag-parse failures.
+	fatalUsage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "schedbench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected positional arguments %q", flag.Args())
+	}
+	if *noTrace && *traceDir != "" {
+		fatalUsage("-notrace conflicts with -tracecache %q", *traceDir)
+	}
+	if *noTrace && *minHit >= 0 {
+		fatalUsage("-notrace conflicts with -mintracehit %.1f (no cache means no hit rate)", *minHit)
+	}
+	if *benchJSON != "" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "experiment", "csv", "tracecache", "mintracehit", "notrace":
+				fatalUsage("-benchjson runs the perf harness and ignores -%s; drop one of the two", f.Name)
+			}
+		})
+	}
+	if *reps < 0 {
+		fatalUsage("-reps must be >= 0, got %d", *reps)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -167,8 +196,18 @@ func main() {
 		"validate": func() error { _, err := r.Validate(); return err },
 		"model":    func() error { _, err := r.Model(); return err },
 		"ablation": func() error { return r.Ablations() },
+		"resilience": func() error {
+			points, err := r.Resilience()
+			if err != nil || *csvDir == "" {
+				return err
+			}
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			return exp.WriteResilienceCSV(fmt.Sprintf("%s/resilience.csv", *csvDir), points)
+		},
 	}
-	order := []string{"machine", "validate", "model", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation"}
+	order := []string{"machine", "validate", "model", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "resilience"}
 
 	switch *experiment {
 	case "all":

@@ -11,6 +11,7 @@
 //	schedserve -sched sb -closed 4 -jobs 40 -think 100000
 //	schedserve -sched ws -tracefile arrivals.txt
 //	schedserve -sched ws,pws,sb,sbd -sweep 100,1000,10000,100000 -csv sat.csv
+//	schedserve -sched sb -fault coreloss:50 -deadline 150000 -retries 2 -backoff 50000 -admission shed:100000:queue:3:-1
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/serve"
 )
 
@@ -38,7 +40,11 @@ func main() {
 		jobs        = flag.Int("jobs", 32, "total jobs for closed-loop mode")
 		think       = flag.Int64("think", 0, "closed-loop think time in cycles between completion and next request")
 		traceFile   = flag.String("tracefile", "", "replay arrivals from a trace file: lines of '<cycle> <kernel> <n> [seed]'")
-		admission   = flag.String("admission", "always", "admission policy: always | queue:<inflight>:<cap> | token:<interval>:<burst>")
+		admission   = flag.String("admission", "always", "admission policy: always | queue:<inflight>:<cap> | token:<interval>:<burst> | shed:<threshold>:<inner>")
+		faultSpec   = flag.String("fault", "", "inject a machine perturbation: <scenario>:<intensity> (scenarios: "+strings.Join(fault.ScenarioNames(), ", ")+")")
+		deadline    = flag.Int64("deadline", 0, "abort jobs still queued this many cycles after (re)submission (0 = never)")
+		retries     = flag.Int("retries", 0, "re-submit timed-out jobs up to this many times (needs -deadline)")
+		backoff     = flag.Int64("backoff", 0, "base retry backoff in cycles, doubled per attempt")
 		links       = flag.Int("links", 0, "DRAM links to use (bandwidth; 0 = all)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		sample      = flag.Int64("sample", 0, "record queue depth and cache occupancy every this many cycles (0 = off)")
@@ -47,6 +53,40 @@ func main() {
 		verbose     = flag.Bool("v", false, "also print per-job lifecycle records")
 	)
 	flag.Parse()
+
+	// Validate flag combinations before building anything, so a bad
+	// invocation fails instantly with usage. Exit code 2 matches
+	// flag-parse failures.
+	fatalUsage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "schedserve: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected positional arguments %q", flag.Args())
+	}
+	if *deadline < 0 || *backoff < 0 || *retries < 0 {
+		fatalUsage("-deadline, -retries and -backoff must be >= 0")
+	}
+	if *retries > 0 && *deadline == 0 {
+		fatalUsage("-retries needs -deadline (a job only retries after timing out)")
+	}
+	if *backoff > 0 && *retries == 0 {
+		fatalUsage("-backoff needs -retries")
+	}
+	if *sweep != "" {
+		for name, set := range map[string]bool{
+			"-fault": *faultSpec != "", "-deadline": *deadline != 0,
+			"-retries": *retries != 0, "-backoff": *backoff != 0,
+		} {
+			if set {
+				fatalUsage("%s is not supported in -sweep mode; run single-rate experiments instead", name)
+			}
+		}
+	}
+	if *faultSpec != "" && *duration <= 0 {
+		fatalUsage("-fault needs -duration > 0 to size the perturbation horizon")
+	}
 
 	m, err := core.MachineByName(*machineName, *scale)
 	if err != nil {
@@ -104,6 +144,26 @@ func main() {
 		return
 	}
 
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		// Scenario generators place their phases at fractions of the
+		// horizon, so it must track the span the run will actually cover:
+		// when -maxjobs caps an open-loop stream short of -duration,
+		// shrink the horizon to the expected arrival span, or every fault
+		// event would land after the last job finishes.
+		horizon := int64(*duration * m.ClockGHz * 1e9)
+		if *closed <= 0 && *traceFile == "" && *maxJobs > 0 {
+			if est := int64(exp.MeanGapFor(m, *rate) * float64(*maxJobs)); est < horizon {
+				horizon = est
+			}
+		}
+		plan, err = fault.ParseSpec(*faultSpec, m, horizon, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("fault: %s over %d cycles\n", *faultSpec, horizon)
+	}
+
 	fmt.Printf("machine: %s\n", m)
 	if *traceFile == "" {
 		fmt.Printf("workload: %s\n", mix)
@@ -139,13 +199,17 @@ func main() {
 			fail(err)
 		}
 		rep, err := serve.Run(serve.Config{
-			Machine:     m,
-			Scheduler:   sc,
-			Arrivals:    arr,
-			Admission:   adm,
-			Seed:        *seed,
-			LinksUsed:   *links,
-			SampleEvery: *sample,
+			Machine:      m,
+			Scheduler:    sc,
+			Arrivals:     arr,
+			Admission:    adm,
+			Seed:         *seed,
+			LinksUsed:    *links,
+			SampleEvery:  *sample,
+			Deadline:     *deadline,
+			MaxRetries:   *retries,
+			RetryBackoff: *backoff,
+			Faults:       plan,
 		})
 		if err != nil {
 			fail(err)
@@ -153,8 +217,12 @@ func main() {
 		fmt.Println(rep)
 		if *verbose {
 			for _, j := range rep.Jobs {
-				fmt.Printf("  job %-4d %-28s arr=%-12d adm=%-12d start=%-12d end=%-12d drop=%v\n",
+				fmt.Printf("  job %-4d %-28s arr=%-12d adm=%-12d start=%-12d end=%-12d drop=%v",
 					j.Tag, j.Spec, j.Arrival, j.Admitted, j.Start, j.End, j.Dropped)
+				if j.Retries > 0 || j.TimedOut || j.Shed {
+					fmt.Printf(" retries=%d timeout=%v shed=%v", j.Retries, j.TimedOut, j.Shed)
+				}
+				fmt.Println()
 			}
 		}
 	}

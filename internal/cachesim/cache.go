@@ -318,6 +318,21 @@ func (c *Cache) Reset() {
 	c.Stats = Stats{}
 }
 
+// Invalidate drops every resident line — tags, LRU stamps and dirty bits —
+// while preserving the hit/miss counters and the LRU clock. It models an
+// interference event (fault.Flush) wiping cache contents mid-run: the
+// lost dirty lines are not written back, matching a co-tenant evicting
+// them through its own traffic whose bandwidth we do not account. Line
+// memos held by the Hierarchy need no shoot-down: they are revalidated
+// against the tag array on every use.
+func (c *Cache) Invalidate() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+		c.dirty[i] = false
+	}
+}
+
 // lineMemo is one entry of the per-(leaf, level) line "TLB" of the access
 // fast path: a cache line this leaf recently located at this level, and
 // the way it occupied. A memo is a hint, never trusted blindly — it is
@@ -367,6 +382,10 @@ type Hierarchy struct {
 	socket  []int // leaf -> level-1 node, for the NUMA check
 
 	linkFree []int64 // next free cycle per DRAM link
+	// lineService is the current per-line DRAM service slot in cycles.
+	// Nominally Desc.LineService; fault injection widens it to model
+	// reduced bandwidth (see SetLineService).
+	lineService int64
 
 	// DRAM accounting.
 	DRAMAccesses int64
@@ -384,10 +403,11 @@ func New(desc *machine.Desc, space *mem.Space) *Hierarchy {
 		panic(fmt.Sprintf("cachesim: space has %d links, machine has %d", space.Links(), desc.Links))
 	}
 	h := &Hierarchy{
-		Desc:     desc,
-		space:    space,
-		levels:   make([][]*Cache, desc.NumLevels()),
-		linkFree: make([]int64, desc.Links),
+		Desc:        desc,
+		space:       space,
+		levels:      make([][]*Cache, desc.NumLevels()),
+		linkFree:    make([]int64, desc.Links),
+		lineService: desc.LineService,
 	}
 	for lvl := 1; lvl < desc.NumLevels(); lvl++ {
 		n := desc.NodesAt(lvl)
@@ -491,10 +511,10 @@ func (h *Hierarchy) Access(leaf int, now int64, a mem.Addr, write bool) (cost in
 			start = h.linkFree[link]
 		}
 		wait := start - now
-		h.linkFree[link] = start + h.Desc.LineService
+		h.linkFree[link] = start + h.lineService
 		h.DRAMAccesses++
 		h.StallCycles += wait
-		cost = wait + h.Desc.LineService + h.Desc.MemLatency
+		cost = wait + h.lineService + h.Desc.MemLatency
 		// NUMA: crossing to another socket's DRAM link pays the QPI +
 		// remote-link latency (§5.2), when links map 1:1 to sockets.
 		if h.numa && link != h.socket[leaf] {
@@ -553,7 +573,7 @@ func (h *Hierarchy) writeback(now int64, ev mem.Addr) {
 	if h.linkFree[wbLink] > wbStart {
 		wbStart = h.linkFree[wbLink]
 	}
-	h.linkFree[wbLink] = wbStart + h.Desc.LineService
+	h.linkFree[wbLink] = wbStart + h.lineService
 	h.Writebacks++
 }
 
@@ -587,6 +607,20 @@ func (h *Hierarchy) exclusiveFill(leaf int, now int64, a mem.Addr, write bool, s
 		lineAddr, lineDirty = ev, evDirty
 	}
 }
+
+// SetLineService overrides the per-line DRAM service slot, the
+// bandwidth-jitter hook of fault injection: serving a line at pct% of
+// nominal bandwidth takes LineService*100/pct cycles. Passing
+// Desc.LineService restores nominal bandwidth.
+func (h *Hierarchy) SetLineService(cycles int64) {
+	if cycles < 0 {
+		panic("cachesim: negative line-service time")
+	}
+	h.lineService = cycles
+}
+
+// LineService returns the current per-line DRAM service slot in cycles.
+func (h *Hierarchy) LineService() int64 { return h.lineService }
 
 // MissesAt returns the total misses across all caches of a level. For the
 // outermost level this equals the DRAM access count — the paper's L3 miss
@@ -625,4 +659,5 @@ func (h *Hierarchy) Reset() {
 	h.StallCycles = 0
 	h.Writebacks = 0
 	h.RemoteHits = 0
+	h.lineService = h.Desc.LineService
 }

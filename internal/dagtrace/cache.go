@@ -3,6 +3,7 @@ package dagtrace
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -12,11 +13,15 @@ import (
 // (from memory or disk) instead of executing kernel closures; a Miss is a
 // cell group that had to record; a Fallback is a key whose computation
 // recording rejected (ErrUnsupported), which runs live every time.
+// Corrupt counts spill files that failed to decode (truncated or
+// bit-rotted) and were evicted from disk; each also counts as a Miss,
+// since its cell falls back to re-recording.
 type Stats struct {
 	Hits      int64
 	DiskHits  int64
 	Misses    int64
 	Fallbacks int64
+	Corrupt   int64
 }
 
 // HitRate is hits over all resolutions, in [0,1]; 0 when nothing ran.
@@ -143,18 +148,26 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".dgtr")
 }
 
-// loadDisk attempts to reload a spilled trace; any failure (missing file,
-// corrupt content) just means "record again".
+// loadDisk attempts to reload a spilled trace. A missing file just means
+// "record again"; a file that fails to decode (truncated write, bit rot)
+// is reported, evicted from disk so it cannot fail again on the next run,
+// counted in Stats.Corrupt, and likewise falls back to re-recording.
 func (c *Cache) loadDisk(key string) (*Trace, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	data, err := os.ReadFile(c.path(key))
+	p := c.path(key)
+	data, err := os.ReadFile(p)
 	if err != nil {
 		return nil, false
 	}
 	t, err := Decode(data)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "dagtrace: evicting corrupt spill %s (key %q): %v\n", p, key, err)
+		os.Remove(p)
+		c.mu.Lock()
+		c.stats.Corrupt++
+		c.mu.Unlock()
 		return nil, false
 	}
 	return t, true

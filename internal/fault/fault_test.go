@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func testMachine(t *testing.T) *machine.Desc {
+	t.Helper()
+	m := machine.Scaled(machine.Xeon7560HT(), 256)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	return m
+}
+
+func TestCompileValidation(t *testing.T) {
+	m := testMachine(t)
+	cores := m.NumCores()
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty", Plan{}, true},
+		{"straggler", Plan{Stragglers: []Straggler{{Core: 0, Start: 10, End: 20, Percent: 200}}}, true},
+		{"straggler forever", Plan{Stragglers: []Straggler{{Core: 1, Start: 10, Percent: 150}}}, true},
+		{"straggler bad core", Plan{Stragglers: []Straggler{{Core: cores, Start: 0, Percent: 200}}}, false},
+		{"straggler speedup", Plan{Stragglers: []Straggler{{Core: 0, Start: 0, Percent: 50}}}, false},
+		{"straggler negative start", Plan{Stragglers: []Straggler{{Core: 0, Start: -1, Percent: 200}}}, false},
+		{"outage", Plan{Outages: []Outage{{Core: 2, Down: 100, Up: 200}}}, true},
+		{"outage permanent", Plan{Outages: []Outage{{Core: 2, Down: 100}}}, true},
+		{"outage bad core", Plan{Outages: []Outage{{Core: -1, Down: 0}}}, false},
+		{"bandwidth", Plan{Bandwidth: []BandwidthPhase{{Start: 0, Percent: 25}}}, true},
+		{"bandwidth zero", Plan{Bandwidth: []BandwidthPhase{{Start: 0, Percent: 0}}}, false},
+		{"bandwidth over", Plan{Bandwidth: []BandwidthPhase{{Start: 0, Percent: 101}}}, false},
+		{"flush all", Plan{Flushes: []Flush{{Time: 5, Level: 1, Node: -1}}}, true},
+		{"flush bad level", Plan{Flushes: []Flush{{Time: 5, Level: 0, Node: -1}}}, false},
+		{"flush bad node", Plan{Flushes: []Flush{{Time: 5, Level: 1, Node: m.NodesAt(1)}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.plan.Compile(m)
+			if tc.ok && err != nil {
+				t.Fatalf("Compile: unexpected error %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Compile: error expected, got nil")
+			}
+		})
+	}
+}
+
+func TestCompileRejectsAllCoresOffline(t *testing.T) {
+	m := testMachine(t)
+	var p Plan
+	for c := 0; c < m.NumCores(); c++ {
+		p.Outages = append(p.Outages, Outage{Core: c, Down: int64(c)})
+	}
+	if _, err := p.Compile(m); err == nil {
+		t.Fatalf("Compile accepted a plan with every core offline")
+	}
+	// Staggered outages that never fully overlap are fine.
+	p = Plan{}
+	for c := 0; c < m.NumCores(); c++ {
+		p.Outages = append(p.Outages, Outage{Core: c, Down: int64(100 * c), Up: int64(100*c + 50)})
+	}
+	if _, err := p.Compile(m); err != nil {
+		t.Fatalf("Compile rejected staggered outages: %v", err)
+	}
+}
+
+func TestCompileSortedAndStable(t *testing.T) {
+	m := testMachine(t)
+	p := Plan{
+		Stragglers: []Straggler{{Core: 0, Start: 50, End: 100, Percent: 300}},
+		Outages:    []Outage{{Core: 1, Down: 50, Up: 100}},
+		Bandwidth:  []BandwidthPhase{{Start: 0, Percent: 100}, {Start: 50, Percent: 25}},
+		Flushes:    []Flush{{Time: 50, Level: 1, Node: -1}},
+	}
+	evs, err := p.Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("events not time-sorted: %+v", evs)
+		}
+	}
+	// Equal-time events keep plan-field order: straggler, outage,
+	// bandwidth, flush.
+	var at50 []Kind
+	for _, ev := range evs {
+		if ev.Time == 50 {
+			at50 = append(at50, ev.Kind)
+		}
+	}
+	want := []Kind{KindStragglerOn, KindCoreDown, KindBandwidth, KindFlush}
+	if !reflect.DeepEqual(at50, want) {
+		t.Fatalf("equal-time order = %v, want %v", at50, want)
+	}
+}
+
+func TestScenarioDeterministicAndZeroEmpty(t *testing.T) {
+	m := testMachine(t)
+	for _, name := range ScenarioNames() {
+		p0, err := Scenario(name, m, 0, 0, 7)
+		if err != nil {
+			t.Fatalf("%s intensity 0: %v", name, err)
+		}
+		if !p0.Empty() {
+			t.Errorf("%s: intensity 0 plan not empty: %+v", name, p0)
+		}
+		a, err := Scenario(name, m, 60, 1_000_000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Scenario(name, m, 60, 1_000_000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed gave different plans", name)
+		}
+		if a.Empty() {
+			t.Errorf("%s: intensity 60 plan is empty", name)
+		}
+		if _, err := a.Compile(m); err != nil {
+			t.Errorf("%s: generated plan fails validation: %v", name, err)
+		}
+	}
+	if _, err := Scenario("nope", m, 10, 1000, 1); err == nil {
+		t.Errorf("unknown scenario accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	m := testMachine(t)
+	if _, err := ParseSpec("bandwidth:50", m, 1_000_000, 1); err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	for _, bad := range []string{"bandwidth", "bandwidth:x", "nope:10", "stragglers:101"} {
+		if _, err := ParseSpec(bad, m, 1_000_000, 1); err == nil {
+			t.Errorf("ParseSpec(%q): error expected", bad)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package opcode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzUvarintRoundTrip: every uint64 must survive encode→decode exactly,
+// the encoding must be byte-identical to encoding/binary's, and the
+// decoder must consume precisely the bytes the encoder produced.
+func FuzzUvarintRoundTrip(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 0x7f, 0x80, 0x3fff, 0x4000, 1<<32 - 1, 1 << 62, ^uint64(0)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v uint64) {
+		enc := AppendUvarint(nil, v)
+		if ref := binary.AppendUvarint(nil, v); !bytes.Equal(enc, ref) {
+			t.Fatalf("AppendUvarint(%d) = %x, binary.AppendUvarint = %x", v, enc, ref)
+		}
+		got, n := Uvarint(enc)
+		if got != v || n != len(enc) {
+			t.Fatalf("Uvarint(AppendUvarint(%d)) = (%d, %d), want (%d, %d)", v, got, n, v, len(enc))
+		}
+		// Trailing garbage must not change the decode.
+		got, n = Uvarint(append(enc, 0xde, 0xad))
+		if got != v || n != len(enc) {
+			t.Fatalf("Uvarint with trailing bytes = (%d, %d), want (%d, %d)", got, n, v, len(enc))
+		}
+	})
+}
+
+// FuzzUvarintDecode: the decoder must never panic on arbitrary bytes and
+// must agree byte-for-byte with encoding/binary's reference decoder —
+// including the n == 0 truncation and n < 0 overflow conventions.
+func FuzzUvarintDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02})
+	f.Add(AppendUvarint(nil, 1<<62))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, n := Uvarint(b)
+		refV, refN := binary.Uvarint(b)
+		if v != refV || n != refN {
+			t.Fatalf("Uvarint(%x) = (%d, %d), binary.Uvarint = (%d, %d)", b, v, n, refV, refN)
+		}
+		if n > 0 {
+			// A successful decode must re-encode to a decodable canonical
+			// form carrying the same value (the input itself may be a
+			// non-canonical over-long encoding).
+			back, m := Uvarint(AppendUvarint(nil, v))
+			if back != v || m <= 0 {
+				t.Fatalf("re-encode of %d failed: (%d, %d)", v, back, m)
+			}
+		}
+	})
+}
+
+// FuzzZigzagRoundTrip: Zigzag and Unzigzag must be mutually inverse over
+// the full 64-bit range.
+func FuzzZigzagRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint64(0))
+	f.Add(int64(-1), uint64(1))
+	f.Add(int64(1)<<62, ^uint64(0))
+	f.Add(int64(-1)<<63, uint64(1)<<63)
+	f.Fuzz(func(t *testing.T, v int64, u uint64) {
+		if got := Unzigzag(Zigzag(v)); got != v {
+			t.Fatalf("Unzigzag(Zigzag(%d)) = %d", v, got)
+		}
+		if got := Zigzag(Unzigzag(u)); got != u {
+			t.Fatalf("Zigzag(Unzigzag(%d)) = %d", u, got)
+		}
+		if v >= 0 && Zigzag(v) != uint64(v)*2 {
+			t.Fatalf("Zigzag(%d) = %d, want %d", v, Zigzag(v), uint64(v)*2)
+		}
+	})
+}

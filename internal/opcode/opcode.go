@@ -35,3 +35,29 @@ func AppendUvarint(b []byte, v uint64) []byte {
 	}
 	return append(b, byte(v))
 }
+
+// Uvarint is the canonical decoder for AppendUvarint's output, with
+// binary.Uvarint's contract: it returns the value and the number of bytes
+// consumed; n == 0 means b ended mid-varint and n < 0 means the encoding
+// overflows 64 bits (|n| bytes were examined). The hot-path interpreters
+// inline unguarded copies of this loop because they only ever see
+// recorder-produced streams; this is the safe reference decoder for
+// untrusted bytes, and the fuzz targets hold the two in agreement.
+func Uvarint(b []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, c := range b {
+		if i == 10 {
+			return 0, -(i + 1)
+		}
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, -(i + 1)
+			}
+			return v | uint64(c)<<shift, i + 1
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}

@@ -80,6 +80,11 @@ type SB struct {
 	costBase int64
 	costOp   int64
 	costLock int64
+
+	// offline marks cores currently held down by fault injection;
+	// Migrations counts strands re-homed by CoreDown evacuations.
+	offline    []bool
+	Migrations int64
 }
 
 // sbNode is the scheduler's view of one cache (or of the root memory).
@@ -103,6 +108,15 @@ type sbNode struct {
 	// cluster, used in place of buckets[0].
 	topQ    [][]*job.Strand
 	topLock []int
+
+	// parent is the enclosing cache's node (nil at the root), and alive
+	// the number of online cores below this node. Both serve fault
+	// injection: when alive reaches zero the node's queues are evacuated
+	// into the parent (CoreDown), and Add redirects work aimed at a dead
+	// node to its nearest live ancestor. Unfaulted runs only ever read
+	// alive > 0, so the checks never perturb their schedules.
+	parent *sbNode
+	alive  int
 }
 
 // sbTaskState tracks the occupancy charged for an anchored task, released
@@ -191,6 +205,16 @@ func (b *SB) Setup(env Env) {
 		}
 		b.path[leaf] = path
 	}
+	for lvl := 0; lvl <= b.maxLevel; lvl++ {
+		for _, nd := range b.nodes[lvl] {
+			nd.alive = m.CoresPerNode(lvl)
+			if lvl > 0 {
+				nd.parent = b.nodes[lvl-1][nd.id/m.Levels[lvl-1].Fanout]
+			}
+		}
+	}
+	b.offline = make([]bool, m.NumCores())
+	b.Migrations = 0
 }
 
 // sigmaM returns σM for a cache level.
@@ -269,6 +293,13 @@ func (b *SB) Add(s *job.Strand, worker int) {
 		// Later strand of t: runs inside t's own anchor cluster.
 		lvl, id := anchorOf(t)
 		nd := b.nodes[lvl][id]
+		if nd.alive == 0 {
+			// Fault injection took every core under the anchor offline:
+			// re-anchor to the nearest live ancestor so the strand stays
+			// reachable.
+			nd = b.liveAncestor(nd)
+			b.reanchor(t, nd, worker)
+		}
 		if b.distributed {
 			b.pushTop(nd, s, worker)
 			return
@@ -287,6 +318,13 @@ func (b *SB) Add(s *job.Strand, worker int) {
 		j = paLvl
 	}
 	parent := b.nodes[paLvl][paID]
+	if parent.alive == 0 {
+		// Dead parent-anchor cluster: hoist the parent task's anchor to
+		// the nearest live ancestor and classify against that instead.
+		parent = b.liveAncestor(parent)
+		b.reanchor(t.Parent, parent, worker)
+		paLvl, paID = parent.level, parent.id
+	}
 	if j < 0 || j == paLvl {
 		// Non-maximal (or unannotated): anchored to the parent's cache,
 		// occupying no additional space.
@@ -516,3 +554,166 @@ func (b *SB) TaskEnd(t *job.Task, worker int) {
 // Occupancy returns the current occupancy of the cache at (level, id), for
 // tests and diagnostics.
 func (b *SB) Occupancy(level, id int) int64 { return b.nodes[level][id].occ }
+
+// liveAncestor walks up from nd to the nearest node with at least one
+// online core below it. The root always qualifies (fault plans reject
+// all-cores-offline schedules).
+func (b *SB) liveAncestor(nd *sbNode) *sbNode {
+	for nd.level > 0 && nd.alive == 0 {
+		nd = nd.parent
+	}
+	return nd
+}
+
+// reanchor hoists task t's anchor up to pn: occupancy charged below
+// pn.level is released, and — since an anchored task must occupy its
+// anchor cache — t.SizeBytes is charged at pn if it was not already. This
+// emergency charge deliberately skips the boundedness check: a core loss
+// must not strand work, so the bound may be transiently exceeded until
+// enclosing tasks finish (the same "practical variant" spirit as the
+// always-dispatched continuations). No-op for tasks already anchored at
+// or above pn, so redundant calls are safe.
+func (b *SB) reanchor(t *job.Task, pn *sbNode, worker int) {
+	if t == nil || t.AnchorLevel < 0 || t.AnchorLevel <= pn.level {
+		return
+	}
+	if st, ok := t.Sched.(*sbTaskState); ok && st != nil {
+		kept := st.charges[:0]
+		charged := false
+		for _, c := range st.charges {
+			if c.level > pn.level {
+				nd := b.nodes[c.level][c.id]
+				b.lock(worker, nd.lock)
+				nd.occ -= c.amt
+				continue
+			}
+			if c.level == pn.level && c.id == pn.id {
+				charged = true
+			}
+			kept = append(kept, c)
+		}
+		st.charges = kept
+		if pn.level > 0 && !charged && t.SizeBytes > 0 {
+			b.lock(worker, pn.lock)
+			pn.occ += t.SizeBytes
+			st.charges = append(st.charges, sbCharge{pn.level, pn.id, t.SizeBytes})
+		}
+	}
+	t.AnchorLevel, t.AnchorNode = pn.level, pn.id
+}
+
+// pushTopAt enqueues s on pn's top bucket into child slot ci (SB-D),
+// bypassing pushTop's worker-position arithmetic: during an evacuation
+// the observing worker need not sit below pn.
+func (b *SB) pushTopAt(pn *sbNode, s *job.Strand, ci, worker int) {
+	if b.distributed {
+		b.lock(worker, pn.topLock[ci])
+		pn.topQ[ci] = append(pn.topQ[ci], s)
+	} else {
+		pn.buckets[0] = append(pn.buckets[0], s)
+	}
+	pn.items++
+	b.op(worker)
+}
+
+// evacChild picks the child slot of pn that evacuated strands land in:
+// the first child cluster with an online core, falling back to the dead
+// child's own slot (reachable later through sibling steals, or
+// re-evacuated when pn itself dies).
+func (b *SB) evacChild(pn, dead *sbNode) int {
+	deadCI := dead.id - pn.id*b.m.Levels[pn.level].Fanout
+	if !b.distributed {
+		return deadCI
+	}
+	fan := b.m.Levels[pn.level].Fanout
+	for ci := 0; ci < fan; ci++ {
+		if b.nodes[dead.level][pn.id*fan+ci].alive > 0 {
+			return ci
+		}
+	}
+	return deadCI
+}
+
+// evacuate empties every queue of the dead node nd into its parent:
+// strands of tasks anchored at nd are re-anchored one level up and moved
+// to the parent's top bucket; unanchored maximal tasks slide one bucket
+// outward unchanged (they anchor lazily at Get as always). Returns the
+// number of strands moved. Caller charges costs to worker.
+func (b *SB) evacuate(nd *sbNode, worker int) int {
+	pn := nd.parent
+	moved := 0
+	b.lock(worker, nd.lock)
+	var top []*job.Strand
+	if b.distributed {
+		for ci := range nd.topQ {
+			if len(nd.topQ[ci]) == 0 {
+				continue
+			}
+			b.lock(worker, nd.topLock[ci])
+			top = append(top, nd.topQ[ci]...)
+			nd.topQ[ci] = nil
+		}
+	} else {
+		top = nd.buckets[0]
+		nd.buckets[0] = nil
+	}
+	b.lock(worker, pn.lock)
+	ci := b.evacChild(pn, nd)
+	for _, s := range top {
+		nd.items--
+		b.reanchor(s.Task, pn, worker)
+		b.pushTopAt(pn, s, ci, worker)
+		moved++
+	}
+	for idx := 1; idx < len(nd.buckets); idx++ {
+		for _, s := range nd.buckets[idx] {
+			pn.buckets[idx+1] = append(pn.buckets[idx+1], s)
+			pn.items++
+			nd.items--
+			b.op(worker)
+			moved++
+		}
+		nd.buckets[idx] = nil
+	}
+	return moved
+}
+
+// CoreDown implements FaultAware: walk the dead core's root-to-leaf path
+// from the innermost cache outward; every node left with no online core
+// below it is evacuated into its parent. The cascade guarantees all
+// queued strands stay reachable by some online core's Get walk, at the
+// cost of coarser anchors (space bounds may be transiently exceeded; see
+// reanchor).
+func (b *SB) CoreDown(core, worker int) int {
+	if b.offline[core] {
+		return 0
+	}
+	b.offline[core] = true
+	leaf := b.m.LeafOf(core)
+	moved := 0
+	for lvl := b.maxLevel; lvl >= 1; lvl-- {
+		nd := b.path[leaf][lvl]
+		nd.alive--
+		if nd.alive > 0 {
+			continue
+		}
+		moved += b.evacuate(nd, worker)
+	}
+	b.nodes[0][0].alive--
+	b.Migrations += int64(moved)
+	return moved
+}
+
+// CoreUp implements FaultAware: restore the path's alive counts. Nothing
+// migrates back — work drifts into the revived subtree through normal
+// anchoring.
+func (b *SB) CoreUp(core, worker int) {
+	if !b.offline[core] {
+		return
+	}
+	b.offline[core] = false
+	leaf := b.m.LeafOf(core)
+	for lvl := b.maxLevel; lvl >= 0; lvl-- {
+		b.path[leaf][lvl].alive++
+	}
+}

@@ -98,6 +98,25 @@ type Scheduler interface {
 	TaskEnd(t *job.Task, worker int)
 }
 
+// FaultAware is an optional Scheduler extension for core offline/online
+// events (fault injection). When the engine takes a core offline it
+// invokes CoreDown on behalf of `worker` — the core that observed the
+// fault, to which the migration's bookkeeping (locks, queue ops) is
+// charged. The scheduler must move any strands queued exclusively on the
+// downed core somewhere an online core can reach, and return how many it
+// moved. CoreUp reports the core returning; schedulers need not migrate
+// anything back — new work drifts naturally.
+//
+// Schedulers that do not implement FaultAware get the engine's safe
+// default: nothing migrates, and queued strands on the downed core must
+// remain reachable through the scheduler's normal Get path (true for PDF,
+// whose pool is global). Both callbacks may be invoked redundantly; they
+// must be idempotent.
+type FaultAware interface {
+	CoreDown(core, worker int) int
+	CoreUp(core, worker int)
+}
+
 // New constructs a scheduler by name: "ws", "pws", "cilk", "sb", "sbd".
 // Space-bounded variants take the default σ=0.5, µ=0.2 of the paper (§5.3).
 // It returns nil for an unknown name.

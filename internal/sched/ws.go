@@ -41,6 +41,13 @@ type WS struct {
 
 	// Steals counts successful steals per worker, for diagnostics.
 	Steals []int64
+
+	// offline marks cores currently held down by fault injection;
+	// Migrations counts strands re-homed by CoreDown. Both are
+	// diagnostics-only for WS — correctness never depends on them, since
+	// any live core can steal from a dead core's dequeue.
+	offline    []bool
+	Migrations int64
 }
 
 // NewWS returns the paper's WS scheduler.
@@ -81,6 +88,8 @@ func (w *WS) Setup(env Env) {
 	w.local = make([]int, w.n)
 	w.steal = make([]int, w.n)
 	w.Steals = make([]int64, w.n)
+	w.offline = make([]bool, w.n)
+	w.Migrations = 0
 	for i := 0; i < w.n; i++ {
 		w.local[i] = env.NewLock()
 		w.steal[i] = env.NewLock()
@@ -160,6 +169,51 @@ func (w *WS) Done(s *job.Strand, worker int) {
 
 // TaskEnd implements Scheduler: no anchored space to release.
 func (w *WS) TaskEnd(t *job.Task, worker int) {}
+
+// CoreDown implements FaultAware: eagerly re-steal the dead core's entire
+// dequeue, dealing its strands round-robin onto the bottoms of the online
+// dequeues (starting after the dead core) as if each had been stolen. The
+// dequeue and steal-lock traffic is charged to the observing worker.
+func (w *WS) CoreDown(core, worker int) int {
+	if w.offline[core] {
+		return 0
+	}
+	w.offline[core] = true
+	w.lock(worker, w.steal[core])
+	w.lock(worker, w.local[core])
+	q := w.queues[core]
+	if len(q) == 0 {
+		return 0
+	}
+	w.queues[core] = nil
+	target := core
+	moved := 0
+	for _, s := range q {
+		found := false
+		for i := 0; i < w.n; i++ {
+			target = (target + 1) % w.n
+			if target != core && !w.offline[target] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Every other core is down too; leave the rest on the dead
+			// core's dequeue, reachable by steals once someone returns.
+			w.queues[core] = append(w.queues[core], s)
+			continue
+		}
+		w.lock(worker, w.local[target])
+		w.queues[target] = append(w.queues[target], s)
+		w.op(worker)
+		moved++
+	}
+	w.Migrations += int64(moved)
+	return moved
+}
+
+// CoreUp implements FaultAware.
+func (w *WS) CoreUp(core, worker int) { w.offline[core] = false }
 
 // TotalSteals returns the number of successful steals across all workers.
 func (w *WS) TotalSteals() int64 {

@@ -24,6 +24,23 @@ type Admission interface {
 	QueueCap() int
 }
 
+// Shedder is an optional Admission extension: a policy that also
+// implements it is consulted at every arrival and retry, and a true
+// ShedNow drops the job outright (no queueing, no token spend) — load
+// shedding in response to observed system health rather than queue
+// geometry. Called on the engine goroutine; must be deterministic.
+type Shedder interface {
+	ShedNow(now int64) bool
+}
+
+// LatencyObserver is an optional Admission extension: a policy that also
+// implements it is fed every completed job's end-to-end latency, letting
+// admission react to the health of the simulated machine (e.g. shed when
+// latency inflates under injected faults).
+type LatencyObserver interface {
+	Observe(now, latency int64)
+}
+
 // --- always-admit ----------------------------------------------------------
 
 type alwaysAdmit struct{}
@@ -90,9 +107,19 @@ func NewTokenBucket(interval int64, burst int) *TokenBucket {
 // Name implements Admission.
 func (t *TokenBucket) Name() string { return fmt.Sprintf("token(%d,%d)", t.Interval, t.Burst) }
 
-// Admit implements Admission.
+// Admit implements Admission. The constructor enforces Interval >= 1 and
+// Burst >= 1, but the struct is exported and a zero-field literal must
+// degrade safely rather than divide by zero or spin: Burst <= 0 admits
+// nothing (the bucket can never hold a token), and Interval <= 0 refills
+// instantly (every arrival finds a full bucket).
 func (t *TokenBucket) Admit(now int64, _ int) bool {
-	if now > t.last {
+	if t.Burst <= 0 {
+		return false
+	}
+	if t.Interval <= 0 {
+		t.tokens = t.Burst
+		t.last = now
+	} else if now > t.last {
 		n := (now - t.last) / t.Interval
 		t.tokens += n
 		if t.tokens >= t.Burst {
@@ -112,11 +139,52 @@ func (t *TokenBucket) Admit(now int64, _ int) bool {
 // QueueCap implements Admission.
 func (t *TokenBucket) QueueCap() int { return 0 }
 
+// --- health-reactive shedding ----------------------------------------------
+
+// HealthShed wraps an inner admission policy with latency-reactive load
+// shedding: it tracks an exponentially weighted moving average of
+// completed-job latency (integer EWMA, α = 1/8, so runs stay exactly
+// reproducible) and sheds every arrival while the average exceeds
+// Threshold. Under an injected machine fault the EWMA inflates, arrivals
+// are turned away instead of queueing behind a degraded machine, and
+// admission recovers as soon as completions speed back up.
+type HealthShed struct {
+	Inner     Admission
+	Threshold int64
+
+	ewma int64
+}
+
+// NewHealthShed wraps inner with shedding above the given latency
+// threshold (cycles).
+func NewHealthShed(inner Admission, threshold int64) *HealthShed {
+	if inner == nil || threshold < 1 {
+		panic("serve: HealthShed requires an inner policy and Threshold >= 1")
+	}
+	return &HealthShed{Inner: inner, Threshold: threshold}
+}
+
+// Name implements Admission.
+func (h *HealthShed) Name() string { return fmt.Sprintf("shed(%d,%s)", h.Threshold, h.Inner.Name()) }
+
+// Admit implements Admission by delegating to the inner policy.
+func (h *HealthShed) Admit(now int64, inFlight int) bool { return h.Inner.Admit(now, inFlight) }
+
+// QueueCap implements Admission by delegating to the inner policy.
+func (h *HealthShed) QueueCap() int { return h.Inner.QueueCap() }
+
+// ShedNow implements Shedder.
+func (h *HealthShed) ShedNow(int64) bool { return h.ewma > h.Threshold }
+
+// Observe implements LatencyObserver.
+func (h *HealthShed) Observe(_, latency int64) { h.ewma += (latency - h.ewma) / 8 }
+
 // ParseAdmission parses an admission-policy spec:
 //
 //	always                 admit everything
 //	queue:<inflight>:<cap> bounded in-flight with a wait queue (cap<0 = unbounded)
 //	token:<interval>:<burst> token bucket, one token per interval cycles
+//	shed:<threshold>:<inner> latency-reactive shedding around an inner policy
 func ParseAdmission(s string) (Admission, error) {
 	fields := strings.Split(strings.TrimSpace(s), ":")
 	switch fields[0] {
@@ -142,6 +210,19 @@ func ParseAdmission(s string) (Admission, error) {
 			return nil, fmt.Errorf("serve: bad token policy %q", s)
 		}
 		return NewTokenBucket(interval, burst), nil
+	case "shed":
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("serve: want shed:<threshold>:<inner policy>, got %q", s)
+		}
+		threshold, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || threshold < 1 {
+			return nil, fmt.Errorf("serve: bad shed threshold in %q", s)
+		}
+		inner, err := ParseAdmission(strings.Join(fields[2:], ":"))
+		if err != nil {
+			return nil, err
+		}
+		return NewHealthShed(inner, threshold), nil
 	}
-	return nil, fmt.Errorf("serve: unknown admission policy %q (have always, queue:<n>:<cap>, token:<interval>:<burst>)", s)
+	return nil, fmt.Errorf("serve: unknown admission policy %q (have always, queue:<n>:<cap>, token:<interval>:<burst>, shed:<t>:<inner>)", s)
 }

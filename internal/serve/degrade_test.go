@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// degradedPlan knocks the machine down hard: one core lost permanently
+// and DRAM links at quarter bandwidth for the whole run.
+func degradedPlan() *fault.Plan {
+	return &fault.Plan{
+		Outages:   []fault.Outage{{Core: 2, Down: 1000, Up: 0}},
+		Bandwidth: []fault.BandwidthPhase{{Start: 0, Percent: 25}},
+	}
+}
+
+// TestServeDeadlineTimeout: one slot, a 4-burst, and a deadline far below
+// the service time — the three queued jobs time out instead of ever
+// dispatching, and are reported as TimedOut rather than Dropped.
+func TestServeDeadlineTimeout(t *testing.T) {
+	rep, err := Run(Config{
+		Machine:   testMachine(),
+		Scheduler: "ws",
+		Arrivals:  burstTrace(t, 4),
+		Admission: NewBoundedQueue(1, -1),
+		Seed:      3,
+		Deadline:  1000,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Completed != 1 || rep.TimedOut != 3 || rep.Dropped != 0 || rep.StillQueued != 0 {
+		t.Fatalf("want 1 completed / 3 timed out, got %s", rep)
+	}
+	for _, j := range rep.Jobs {
+		if j.TimedOut && j.Admitted >= 0 {
+			t.Errorf("job %d timed out yet was admitted at %d", j.Tag, j.Admitted)
+		}
+	}
+}
+
+// TestServeRetryCompletes: with retries enabled, a job that misses its
+// first deadline is re-submitted with backoff and completes once the slot
+// frees up.
+func TestServeRetryCompletes(t *testing.T) {
+	rep, err := Run(Config{
+		Machine:      testMachine(),
+		Scheduler:    "ws",
+		Arrivals:     burstTrace(t, 2),
+		Admission:    NewBoundedQueue(1, -1),
+		Seed:         3,
+		Deadline:     1000,
+		MaxRetries:   10,
+		RetryBackoff: 20_000,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Completed != 2 || rep.TimedOut != 0 {
+		t.Fatalf("want both completed via retry, got %s", rep)
+	}
+	if rep.Retried != 1 || rep.Jobs[1].Retries < 1 {
+		t.Fatalf("second job should have retried at least once, got %+v", rep.Jobs[1])
+	}
+}
+
+// TestServeRetryExhausted: a bounded retry budget runs out while the slot
+// is still occupied, and the job is abandoned with exactly MaxRetries
+// recorded attempts.
+func TestServeRetryExhausted(t *testing.T) {
+	rep, err := Run(Config{
+		Machine:      testMachine(),
+		Scheduler:    "ws",
+		Arrivals:     burstTrace(t, 2),
+		Admission:    NewBoundedQueue(1, -1),
+		Seed:         3,
+		Deadline:     1000,
+		MaxRetries:   2,
+		RetryBackoff: 100,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Completed != 1 || rep.TimedOut != 1 {
+		t.Fatalf("want 1 completed / 1 timed out, got %s", rep)
+	}
+	if j := rep.Jobs[1]; !j.TimedOut || j.Retries != 2 {
+		t.Fatalf("second job should time out after 2 retries, got %+v", j)
+	}
+}
+
+// TestServeHealthShed: after the first completion inflates the latency
+// EWMA past the threshold, later arrivals are shed outright.
+func TestServeHealthShed(t *testing.T) {
+	rep, err := Run(Config{
+		Machine:   testMachine(),
+		Scheduler: "ws",
+		Arrivals: NewTrace([]Arrival{
+			{Time: 0, Spec: JobSpec{Kernel: "rrm", N: 1500, Seed: 1}},
+			{Time: 50_000_000, Spec: JobSpec{Kernel: "rrm", N: 1500, Seed: 2}},
+		}),
+		Admission: NewHealthShed(NewBoundedQueue(4, -1), 1),
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Completed != 1 || rep.Shed != 1 || rep.Dropped != 1 {
+		t.Fatalf("want 1 completed / 1 shed, got %s", rep)
+	}
+	if j := rep.Jobs[1]; !j.Shed || !j.Dropped {
+		t.Fatalf("second job should be shed, got %+v", j)
+	}
+}
+
+// TestHealthShedEWMA pins the integer EWMA: α = 1/8, pure integer
+// arithmetic, threshold crossing and recovery.
+func TestHealthShedEWMA(t *testing.T) {
+	h := NewHealthShed(AlwaysAdmit(), 100)
+	if h.ShedNow(0) {
+		t.Fatal("fresh shedder must not shed")
+	}
+	h.Observe(0, 800) // ewma = 100
+	if h.ShedNow(0) {
+		t.Fatal("ewma at threshold must not shed (strictly above)")
+	}
+	h.Observe(0, 1600) // ewma = 100 + 1500/8 = 287
+	if !h.ShedNow(0) {
+		t.Fatal("ewma above threshold must shed")
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0, 0)
+	}
+	if h.ShedNow(0) {
+		t.Fatal("ewma must decay back below threshold on fast completions")
+	}
+}
+
+// TestTokenBucketZeroValueGuards: the exported struct can be built
+// directly with zero fields; Admit must degrade safely instead of
+// dividing by zero or spinning.
+func TestTokenBucketZeroValueGuards(t *testing.T) {
+	cases := []struct {
+		name   string
+		bucket TokenBucket
+		admits []bool // results of successive Admit(now=i*10) calls
+	}{
+		{"zero value", TokenBucket{}, []bool{false, false, false}},
+		{"zero burst", TokenBucket{Interval: 5}, []bool{false, false, false}},
+		{"zero interval refills instantly", TokenBucket{Burst: 2}, []bool{true, true, true}},
+		{"negative interval", TokenBucket{Interval: -3, Burst: 1}, []bool{true, true, true}},
+		{"normal", TokenBucket{Interval: 10, Burst: 1, tokens: 1}, []bool{true, true, true}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for i, want := range c.admits {
+				if got := c.bucket.Admit(int64(i*10), 0); got != want {
+					t.Fatalf("Admit #%d = %v, want %v", i, got, want)
+				}
+			}
+		})
+	}
+	for _, bad := range [][2]int64{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTokenBucket(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			NewTokenBucket(bad[0], int(bad[1]))
+		}()
+	}
+}
+
+func TestParseAdmissionShed(t *testing.T) {
+	a, err := ParseAdmission("shed:500:queue:2:-1")
+	if err != nil {
+		t.Fatalf("ParseAdmission: %v", err)
+	}
+	if got, want := a.Name(), "shed(500,queue(2,-1))"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+	for _, bad := range []string{"shed:0:always", "shed:500", "shed:x:always", "shed:500:nope"} {
+		if _, err := ParseAdmission(bad); err == nil {
+			t.Errorf("ParseAdmission(%q) should fail", bad)
+		}
+	}
+}
+
+func TestServeDegradeConfigErrors(t *testing.T) {
+	arr := func() ArrivalProcess { return burstTrace(t, 1) }
+	if _, err := Run(Config{Machine: testMachine(), Scheduler: "ws", Arrivals: arr(), MaxRetries: 1}); err == nil {
+		t.Error("MaxRetries without Deadline not rejected")
+	}
+	if _, err := Run(Config{Machine: testMachine(), Scheduler: "ws", Arrivals: arr(), Deadline: -1}); err == nil {
+		t.Error("negative Deadline not rejected")
+	}
+	if _, err := Run(Config{Machine: testMachine(), Scheduler: "ws", Arrivals: arr(), Faults: &fault.Plan{
+		Outages: []fault.Outage{{Core: 999, Down: 0, Up: 0}},
+	}}); err == nil {
+		t.Error("invalid fault plan not rejected")
+	}
+}
+
+// TestServeDegradedMachineP99Bounded is the graceful-degradation
+// acceptance scenario: under an injected machine fault (permanent core
+// loss + quarter bandwidth) and open-loop overload, the unprotected
+// server's completed-job p99 balloons with queueing delay, while
+// deadlines, retries and health-reactive shedding keep the protected
+// server's p99 bounded — it sheds throughput instead of latency. The
+// protected run must also stay bit-deterministic.
+func TestServeDegradedMachineP99Bounded(t *testing.T) {
+	arr := func() ArrivalProcess {
+		return NewPoisson(PoissonConfig{MeanGap: 5_000, MaxJobs: 24, Mix: testMix(t), Seed: 42})
+	}
+	unprot, err := Run(Config{
+		Machine: testMachine(), Scheduler: "sb", Arrivals: arr(),
+		Admission: NewBoundedQueue(3, -1), Seed: 7, Faults: degradedPlan(),
+	})
+	if err != nil {
+		t.Fatalf("unprotected: %v", err)
+	}
+	protected := func() *Report {
+		rep, err := Run(Config{
+			Machine: testMachine(), Scheduler: "sb", Arrivals: arr(),
+			Admission:    NewHealthShed(NewBoundedQueue(3, -1), 100_000),
+			Seed:         7,
+			Faults:       degradedPlan(),
+			Deadline:     150_000,
+			MaxRetries:   2,
+			RetryBackoff: 50_000,
+		})
+		if err != nil {
+			t.Fatalf("protected: %v", err)
+		}
+		return rep
+	}
+	prot := protected()
+	if prot.Completed == 0 {
+		t.Fatal("protected server completed nothing — shedding everything is not graceful")
+	}
+	if prot.Shed == 0 {
+		t.Error("protected server never shed load despite degraded machine")
+	}
+	if prot.Latency.P99 >= unprot.Latency.P99 {
+		t.Errorf("protection did not bound p99: protected %.0f >= unprotected %.0f",
+			prot.Latency.P99, unprot.Latency.P99)
+	}
+	if prot.Latency.P99 > unprot.Latency.P99/2 {
+		t.Errorf("protected p99 %.0f not well below unprotected %.0f", prot.Latency.P99, unprot.Latency.P99)
+	}
+	if a, b := prot.Fingerprint(), protected().Fingerprint(); a != b {
+		t.Error("protected degraded run is not deterministic across reruns")
+	}
+}

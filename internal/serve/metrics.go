@@ -22,6 +22,13 @@ type JobRecord struct {
 	// End is when the job's root task (all descendants) completed.
 	End     int64
 	Dropped bool
+
+	// Retries counts deadline-triggered re-submissions through admission;
+	// TimedOut marks a job abandoned after its (last) deadline expired
+	// un-dispatched; Shed marks a drop by a health-reactive Shedder.
+	Retries  int
+	TimedOut bool
+	Shed     bool
 }
 
 // Completed reports whether the job ran to completion.
@@ -79,6 +86,11 @@ type Report struct {
 	// stranded work (liveness violation under admissible load).
 	Arrivals, Admitted, Dropped, Completed, StillQueued int
 
+	// TimedOut counts jobs abandoned after exhausting their deadline (and
+	// retries); Retried counts jobs re-submitted at least once; Shed
+	// counts drops by a health-reactive Shedder (subset of Dropped).
+	TimedOut, Retried, Shed int
+
 	// Latency is arrival→completion, QueueDelay arrival→first execution,
 	// Service first-execution→completion; cycles over completed jobs.
 	Latency, QueueDelay, Service Quantiles
@@ -105,6 +117,9 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s serving %s under %s: %d arrivals, %d admitted, %d dropped, %d completed",
 		r.Scheduler, r.Workload, r.Policy, r.Arrivals, r.Admitted, r.Dropped, r.Completed)
+	if r.TimedOut > 0 || r.Retried > 0 || r.Shed > 0 {
+		fmt.Fprintf(&b, ", %d timed out (%d retried, %d shed)", r.TimedOut, r.Retried, r.Shed)
+	}
 	if r.StillQueued > 0 {
 		fmt.Fprintf(&b, ", %d STILL QUEUED", r.StillQueued)
 	}
@@ -127,12 +142,26 @@ func (r *Report) Fingerprint() string {
 	fmt.Fprintf(&b, "sched=%s workload=%s policy=%s\n", r.Scheduler, r.Workload, r.Policy)
 	fmt.Fprintf(&b, "arrivals=%d admitted=%d dropped=%d completed=%d queued=%d\n",
 		r.Arrivals, r.Admitted, r.Dropped, r.Completed, r.StillQueued)
+	// Degradation and fault lines appear only when the counters are
+	// nonzero, so fingerprints of runs without deadlines/retries/shedding
+	// or fault plans stay byte-identical to those of builds that predate
+	// the features (the pinned serving golden relies on this).
+	if r.TimedOut > 0 || r.Retried > 0 || r.Shed > 0 {
+		fmt.Fprintf(&b, "timedout=%d retried=%d shed=%d\n", r.TimedOut, r.Retried, r.Shed)
+	}
 	fmt.Fprintf(&b, "latency=%v queue=%v service=%v\n", r.Latency, r.QueueDelay, r.Service)
 	fmt.Fprintf(&b, "wall=%d l3=%d dram=%d stalls=%d strands=%d\n",
 		r.Result.WallCycles, r.Result.L3Misses(), r.Result.DRAMAccesses, r.Result.StallCycles, r.Result.Strands)
+	if res := r.Result; res.FaultEvents > 0 || res.Migrations > 0 || res.OfflineCycles > 0 {
+		fmt.Fprintf(&b, "faults=%d migrations=%d offline=%d\n", res.FaultEvents, res.Migrations, res.OfflineCycles)
+	}
 	for _, j := range r.Jobs {
-		fmt.Fprintf(&b, "job %d %s arr=%d adm=%d start=%d end=%d drop=%v\n",
+		fmt.Fprintf(&b, "job %d %s arr=%d adm=%d start=%d end=%d drop=%v",
 			j.Tag, j.Spec, j.Arrival, j.Admitted, j.Start, j.End, j.Dropped)
+		if j.Retries > 0 || j.TimedOut || j.Shed {
+			fmt.Fprintf(&b, " retries=%d timeout=%v shed=%v", j.Retries, j.TimedOut, j.Shed)
+		}
+		b.WriteByte('\n')
 	}
 	for _, s := range r.Samples {
 		fmt.Fprintf(&b, "sample %d q=%d f=%d occ=%v\n", s.Time, s.Queued, s.InFlight, s.L3Occ)

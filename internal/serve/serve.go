@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -36,12 +38,37 @@ type Config struct {
 	MaxStrands uint64
 	// SkipVerify skips per-job output verification after the run.
 	SkipVerify bool
+
+	// Deadline bounds each job's admission wait in cycles, measured from
+	// its latest (re)submission: a job still parked in the wait queue when
+	// the window closes is timed out at exactly submit+Deadline instead of
+	// ever dispatching. 0 disables deadlines. (The window covers admission
+	// queueing only — once dispatched, a job runs to completion.)
+	Deadline int64
+	// MaxRetries re-submits a timed-out job through admission up to this
+	// many times before it is abandoned as TimedOut. Requires Deadline.
+	MaxRetries int
+	// RetryBackoff is the base delay before a timed-out job's first
+	// re-submission; attempt k waits RetryBackoff << (k-1) cycles
+	// (exponential backoff). 0 retries immediately.
+	RetryBackoff int64
+	// Faults injects deterministic machine perturbations into the serving
+	// run (see fault.Plan); nil or empty leaves the run unperturbed.
+	Faults *fault.Plan
 }
 
-// jobState pairs a request's record with its (lazily built) kernel.
+// jobState pairs a request's record with its (lazily built) kernel and
+// the deadline bookkeeping of its current admission attempt.
 type jobState struct {
 	rec JobRecord
 	k   kernels.Kernel
+	// submit is the job's latest (re)submission time — the origin of its
+	// current deadline window. attempts counts timeouts so far; inQueue
+	// marks it parked in the admission wait queue (timeout events for jobs
+	// that have since dispatched are stale and ignored).
+	submit   int64
+	attempts int
+	inQueue  bool
 }
 
 // server wires arrivals and admission to the engine: it is the sim.Source
@@ -66,6 +93,18 @@ type server struct {
 	queue    []uint64
 	inFlight int
 
+	// Graceful-degradation config (from Config) and its event streams:
+	// timeouts fire at submit+deadline for parked jobs (appended in
+	// nondecreasing time order, since submissions are processed in time
+	// order); retries hold pending re-submissions, kept sorted by (time,
+	// tag) — backoff grows with the attempt count, so insertion order
+	// alone is not time order.
+	deadline   int64
+	maxRetries int
+	backoff    int64
+	timeouts   []release
+	retries    []release
+
 	jobs    []jobState
 	samples []Sample
 }
@@ -85,11 +124,27 @@ func (s *server) peek() *Arrival {
 	return s.head
 }
 
+// trimTimeouts discards stale timeout events at the head: a job that
+// dispatched (or was dropped) before its deadline leaves its timeout
+// event behind, and processing it would be a pointless engine wake-up.
+func (s *server) trimTimeouts() {
+	for len(s.timeouts) > 0 && !s.jobs[s.timeouts[0].tag].inQueue {
+		s.timeouts = s.timeouts[1:]
+	}
+}
+
 // Pending implements sim.Source.
 func (s *server) Pending() (int64, bool) {
+	s.trimTimeouts()
 	t, ok := int64(0), false
 	if len(s.ready) > 0 {
 		t, ok = s.ready[0].time, true
+	}
+	if len(s.timeouts) > 0 && (!ok || s.timeouts[0].time < t) {
+		t, ok = s.timeouts[0].time, true
+	}
+	if len(s.retries) > 0 && (!ok || s.retries[0].time < t) {
+		t, ok = s.retries[0].time, true
 	}
 	if a := s.peek(); a != nil && (!ok || a.Time < t) {
 		t, ok = a.Time, true
@@ -97,15 +152,37 @@ func (s *server) Pending() (int64, bool) {
 	return t, ok
 }
 
-// Pop implements sim.Source: consume the earliest pending event — a
-// wait-queue release (dispatch), or an arrival (admit, park, or drop).
+// Pop implements sim.Source: consume the earliest pending event. At equal
+// times the order is: wait-queue release (dispatch), deadline timeout,
+// retry re-submission, fresh arrival — releases first so a completion's
+// freed slot is taken before the deadline that raced it fires.
 func (s *server) Pop() (sim.Injection, bool) {
-	if len(s.ready) > 0 {
-		if a := s.peek(); a == nil || s.ready[0].time <= a.Time {
-			r := s.ready[0]
-			s.ready = s.ready[1:]
-			return s.dispatch(r.tag, r.time), true
-		}
+	s.trimTimeouts()
+	next := int64(1)<<62 - 1
+	if len(s.timeouts) > 0 {
+		next = s.timeouts[0].time
+	}
+	if len(s.retries) > 0 && s.retries[0].time < next {
+		next = s.retries[0].time
+	}
+	if a := s.peek(); a != nil && a.Time < next {
+		next = a.Time
+	}
+	if len(s.ready) > 0 && s.ready[0].time <= next {
+		r := s.ready[0]
+		s.ready = s.ready[1:]
+		return s.dispatch(r.tag, r.time), true
+	}
+	if len(s.timeouts) > 0 && s.timeouts[0].time == next {
+		r := s.timeouts[0]
+		s.timeouts = s.timeouts[1:]
+		s.expire(r.tag, r.time)
+		return sim.Injection{}, false
+	}
+	if len(s.retries) > 0 && s.retries[0].time == next {
+		r := s.retries[0]
+		s.retries = s.retries[1:]
+		return s.submit(r.tag, r.time)
 	}
 	a := *s.peek()
 	s.head = nil
@@ -113,16 +190,64 @@ func (s *server) Pop() (sim.Injection, bool) {
 	s.jobs = append(s.jobs, jobState{rec: JobRecord{
 		Tag: tag, Spec: a.Spec, Arrival: a.Time, Admitted: -1, Start: -1, End: -1,
 	}})
-	if s.adm.Admit(a.Time, s.inFlight) {
+	return s.submit(tag, a.Time)
+}
+
+// submit runs one admission attempt (fresh arrival or retry) for tag at
+// now: shed, dispatch, park with a deadline, or drop.
+func (s *server) submit(tag uint64, now int64) (sim.Injection, bool) {
+	st := &s.jobs[tag]
+	st.submit = now
+	if sh, ok := s.adm.(Shedder); ok && sh.ShedNow(now) {
+		st.rec.Dropped = true
+		st.rec.Shed = true
+		return sim.Injection{}, false
+	}
+	if s.adm.Admit(now, s.inFlight) {
 		s.inFlight++
-		return s.dispatch(tag, a.Time), true
+		return s.dispatch(tag, now), true
 	}
 	if cap := s.adm.QueueCap(); cap < 0 || len(s.queue) < cap {
 		s.queue = append(s.queue, tag)
+		st.inQueue = true
+		if s.deadline > 0 {
+			s.timeouts = append(s.timeouts, release{tag: tag, time: now + s.deadline})
+		}
 		return sim.Injection{}, false
 	}
-	s.jobs[tag].rec.Dropped = true
+	st.rec.Dropped = true
 	return sim.Injection{}, false
+}
+
+// expire handles a deadline firing for a still-parked job: remove it from
+// the wait queue, then either schedule a backed-off retry or abandon it
+// as timed out.
+func (s *server) expire(tag uint64, now int64) {
+	st := &s.jobs[tag]
+	if !st.inQueue {
+		return
+	}
+	st.inQueue = false
+	for i, q := range s.queue {
+		if q == tag {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	st.attempts++
+	if st.attempts <= s.maxRetries {
+		st.rec.Retries++
+		at := now + s.backoff<<(st.attempts-1)
+		i := sort.Search(len(s.retries), func(i int) bool {
+			r := s.retries[i]
+			return r.time > at || (r.time == at && r.tag > tag)
+		})
+		s.retries = append(s.retries, release{})
+		copy(s.retries[i+1:], s.retries[i:])
+		s.retries[i] = release{tag: tag, time: at}
+		return
+	}
+	st.rec.TimedOut = true
 }
 
 // dispatch materializes the job's kernel in the shared address space and
@@ -141,17 +266,21 @@ func (s *server) dispatch(tag uint64, now int64) sim.Injection {
 }
 
 // Done implements sim.Source: record the completion, notify the arrival
-// process (closed-loop feedback), and release parked jobs the policy now
-// admits.
+// process (closed-loop feedback) and any latency-reactive admission, and
+// release parked jobs the policy now admits.
 func (s *server) Done(tag uint64, r sim.RootStats) {
 	st := &s.jobs[tag]
 	st.rec.Start = r.Start
 	st.rec.End = r.End
 	s.inFlight--
 	s.arr.JobDone(r.End)
+	if ob, ok := s.adm.(LatencyObserver); ok {
+		ob.Observe(r.End, r.End-st.rec.Arrival)
+	}
 	for len(s.queue) > 0 && s.adm.Admit(r.End, s.inFlight) {
 		tag := s.queue[0]
 		s.queue = s.queue[1:]
+		s.jobs[tag].inQueue = false
 		s.inFlight++
 		s.ready = append(s.ready, release{tag: tag, time: r.End})
 	}
@@ -180,15 +309,24 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Admission == nil {
 		cfg.Admission = AlwaysAdmit()
 	}
+	if cfg.Deadline < 0 || cfg.MaxRetries < 0 || cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("serve: Deadline, MaxRetries and RetryBackoff must be non-negative")
+	}
+	if cfg.MaxRetries > 0 && cfg.Deadline == 0 {
+		return nil, fmt.Errorf("serve: MaxRetries requires a Deadline (nothing times out without one)")
+	}
 	sc := sched.New(cfg.Scheduler)
 	if sc == nil {
 		return nil, fmt.Errorf("serve: unknown scheduler %q", cfg.Scheduler)
 	}
 	srv := &server{
-		m:   cfg.Machine,
-		sp:  core.SpaceFor(cfg.Machine, cfg.LinksUsed, cfg.PageSize),
-		arr: cfg.Arrivals,
-		adm: cfg.Admission,
+		m:          cfg.Machine,
+		sp:         core.SpaceFor(cfg.Machine, cfg.LinksUsed, cfg.PageSize),
+		arr:        cfg.Arrivals,
+		adm:        cfg.Admission,
+		deadline:   cfg.Deadline,
+		maxRetries: cfg.MaxRetries,
+		backoff:    cfg.RetryBackoff,
 	}
 	if sb, ok := sc.(*sched.SB); ok {
 		srv.sb = sb
@@ -200,6 +338,7 @@ func Run(cfg Config) (*Report, error) {
 		Cost:       cfg.Cost,
 		Seed:       cfg.Seed,
 		MaxStrands: cfg.MaxStrands,
+		Faults:     cfg.Faults,
 	}
 	if cfg.SampleEvery > 0 {
 		simCfg.Sampler = srv.sample
@@ -241,8 +380,16 @@ func (s *server) report(schedName string, res *sim.Result) *Report {
 		switch {
 		case rec.Dropped:
 			r.Dropped++
+		case rec.TimedOut:
+			r.TimedOut++
 		case rec.Admitted >= 0:
 			r.Admitted++
+		}
+		if rec.Shed {
+			r.Shed++
+		}
+		if rec.Retries > 0 {
+			r.Retried++
 		}
 		if rec.Completed() {
 			r.Completed++

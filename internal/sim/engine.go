@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/cachesim"
+	"repro/internal/fault"
 	"repro/internal/job"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -102,6 +103,11 @@ type Config struct {
 	Sampler func(now int64)
 	// SampleEvery is the sampling period in cycles; 0 disables sampling.
 	SampleEvery int64
+	// Faults, if non-nil and non-empty, injects deterministic machine
+	// perturbations (stragglers, core loss, bandwidth jitter, cache
+	// flushes) at their scheduled simulated times. A nil or empty plan
+	// leaves every run bit-identical to one without fault support.
+	Faults *fault.Plan
 }
 
 // Run executes root to completion on the configured machine and scheduler
@@ -112,6 +118,11 @@ func Run(cfg Config, root job.Job) (*Result, error) {
 	}
 	if err := cfg.Machine.Validate(); err != nil {
 		return nil, errMachine(err)
+	}
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(cfg.Machine); err != nil {
+			return nil, errMachine(err)
+		}
 	}
 	normalizeCosts(&cfg)
 	e := newEngine(cfg)
@@ -178,6 +189,12 @@ type engine struct {
 	// curBucket attributes Env charges to the call-back being executed.
 	curBucket int
 
+	// flt holds fault-injection state (nil when Config.Faults is empty),
+	// and nextFault the simulated time of the earliest unapplied fault
+	// event (a huge sentinel otherwise), so the hot paths test one int64.
+	flt       *faultState
+	nextFault int64
+
 	// rec receives program-level record events (StrandAccess/StrandWork/
 	// StrandForked) when cfg.Listener also implements TraceListener; nil
 	// otherwise, so the per-access hot-path cost is a single nil check.
@@ -225,6 +242,11 @@ func newEngine(cfg Config) *engine {
 		w.ctx = wctx{w: w, e: e}
 		e.workers[i] = w
 		go w.loop(e) //schedlint:ignore nondeterminism baton-pass worker: exactly one goroutine runs at a time, sequenced by resume/yield channels
+	}
+	e.flt = newFaultState(&cfg)
+	e.nextFault = int64(1)<<62 - 1
+	if e.flt != nil && len(e.flt.events) > 0 {
+		e.nextFault = e.flt.events[0].Time
 	}
 	e.sch.Setup(e) // engine implements sched.Env
 	return e
@@ -613,6 +635,9 @@ func (e *engine) run(src Source) (res *Result, err error) {
 			if e.sampling {
 				e.sample(w.clock)
 			}
+			if w.clock >= e.nextFault {
+				e.fireFaults(w.clock, w)
+			}
 			if pending {
 				if t > w.clock && e.liveStrands == 0 && e.liveRoots == 0 {
 					// The system is fully drained and the next arrival is
@@ -703,6 +728,17 @@ func (e *engine) drainIdle(w *worker) {
 func (e *engine) step(w *worker) {
 	w.virtualPop = w.clock
 	if w.cur == nil {
+		if f := e.flt; f != nil && f.offline[w.id] {
+			// Offline core: no scheduler polls until its CoreUp event; the
+			// dead time accrues as empty-queue overhead. A core that was
+			// mid-strand at its CoreDown drains that strand first (w.cur
+			// non-nil skips this branch) — execution state lives on the
+			// worker goroutine, so mid-strand migration is not modelled.
+			w.clock += e.cost.IdleBackoff
+			w.timers[BucketEmpty] += e.cost.IdleBackoff
+			f.offlineCycles += e.cost.IdleBackoff
+			return
+		}
 		s := e.callGet(w)
 		if s == nil {
 			w.clock += e.cost.IdleBackoff
@@ -773,6 +809,11 @@ func (e *engine) collect() *Result {
 	r.MissesPerLevel = make([]int64, e.m.NumLevels())
 	for lvl := 1; lvl < e.m.NumLevels(); lvl++ {
 		r.MissesPerLevel[lvl] = e.h.MissesAt(lvl)
+	}
+	if f := e.flt; f != nil {
+		r.Migrations = f.migrations
+		r.FaultEvents = f.eventsFired
+		r.OfflineCycles = f.offlineCycles
 	}
 	return r
 }

@@ -26,6 +26,14 @@ func (e *engine) beginInline(w *worker, j job.Job) {
 	if e.rec != nil {
 		return
 	}
+	if f := e.flt; f != nil && f.stragglers {
+		// Straggler dilation is applied per charge in wctx.spend; the
+		// inline interpreter batches charges inside cachesim.RunScript and
+		// cannot reproduce the same integer roundings, so scripted strands
+		// take the goroutine path for the whole run. Correctness is
+		// unaffected — only the replay speedup is given up.
+		return
+	}
 	if sj, ok := j.(job.Scripted); ok {
 		w.sjob = sj
 		w.script, w.sip, w.send = sj.Script()
@@ -79,7 +87,7 @@ func (e *engine) runInline(w *worker) bool {
 		active += spent
 		chunkLeft -= spent
 		if chunkLeft <= 0 {
-			if !e.sampling &&
+			if !e.sampling && clock < e.nextFault &&
 				(e.liveStrands == 1 ||
 					clock < e.nextClock || (clock == e.nextClock && w.id < e.nextID)) {
 				if t, pending := e.src.Pending(); !pending || t > clock {
@@ -116,7 +124,7 @@ func (e *engine) runInline(w *worker) bool {
 		active += cost
 		chunkLeft -= cost
 		if chunkLeft <= 0 {
-			if !e.sampling &&
+			if !e.sampling && clock < e.nextFault &&
 				(e.liveStrands == 1 ||
 					clock < e.nextClock || (clock == e.nextClock && w.id < e.nextID)) {
 				if t, pending := e.src.Pending(); !pending || t > clock {

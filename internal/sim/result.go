@@ -47,6 +47,16 @@ type Result struct {
 	Writebacks   int64
 	RemoteHits   int64
 
+	// Fault-injection diagnostics (zero without a fault plan). Migrations
+	// counts strands re-homed by scheduler CoreDown callbacks, FaultEvents
+	// the perturbation events applied, and OfflineCycles the core-cycles
+	// spent offline. Deliberately excluded from Fingerprint(): the
+	// fingerprint pins the machine-observable schedule, and these are
+	// derived bookkeeping about the plan itself.
+	Migrations    int64
+	FaultEvents   int
+	OfflineCycles int64
+
 	// Hier exposes the full cache hierarchy for detailed inspection.
 	Hier *cachesim.Hierarchy
 }

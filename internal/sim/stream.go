@@ -82,6 +82,11 @@ func RunStream(cfg Config, src Source) (*Result, error) {
 	if src == nil {
 		return nil, errNilSource()
 	}
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(cfg.Machine); err != nil {
+			return nil, errMachine(err)
+		}
+	}
 	normalizeCosts(&cfg)
 	e := newEngine(cfg)
 	defer e.shutdown()

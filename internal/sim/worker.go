@@ -149,8 +149,8 @@ type wctx struct {
 // Fast path (chunk batching): a chunk boundary may be skipped — no
 // channel round-trip, just w.virtualPop recording the pop the engine
 // would have performed — whenever the boundary is provably unobservable.
-// No sampler may be armed and no injection due at or before w.clock
-// (otherwise the engine must interpose), and one of:
+// No sampler may be armed, no fault event and no injection due at or
+// before w.clock (otherwise the engine must interpose), and one of:
 //
 //   - this worker runs the only live strand: every event the baseline
 //     engine would interleave before this strand's next real boundary is
@@ -167,7 +167,7 @@ type wctx struct {
 //schedlint:hotpath
 func (c *wctx) pause() {
 	w, e := c.w, c.e
-	if !e.sampling &&
+	if !e.sampling && w.clock < e.nextFault &&
 		(e.liveStrands == 1 ||
 			w.clock < e.nextClock || (w.clock == e.nextClock && w.id < e.nextID)) {
 		if t, pending := e.src.Pending(); !pending || t > w.clock {
@@ -184,10 +184,17 @@ func (c *wctx) pause() {
 }
 
 // spend charges cycles of program execution (active time) and yields when
-// the chunk budget is exhausted.
+// the chunk budget is exhausted. A straggler fault dilates the charge:
+// every nominal cycle costs mult/100 cycles on the afflicted core
+// (integer arithmetic, so the dilation is exactly reproducible).
 //
 //schedlint:hotpath
 func (c *wctx) spend(cycles int64) {
+	if f := c.e.flt; f != nil {
+		if m := f.mult[c.w.id]; m != 100 {
+			cycles = cycles * m / 100
+		}
+	}
 	c.w.clock += cycles
 	c.w.timers[BucketActive] += cycles
 	c.w.chunkLeft -= cycles
