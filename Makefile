@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-vettool bench bench-replay fuzz check
+.PHONY: all build test race lint lint-vettool bench bench-replay cluster fuzz check
 
 all: build test lint
 
@@ -39,6 +39,14 @@ bench-replay:
 	$(GO) test ./internal/exp/ -run TestLiveReplayEquivalence -count=1 -v > bin/replay_equiv.log 2>&1 || { cat bin/replay_equiv.log; exit 1; }
 	grep -q -- "--- PASS: TestLiveReplayEquivalence" bin/replay_equiv.log
 	$(GO) run ./cmd/schedbench -profile quick -experiment fig8 -mintracehit 50
+
+# cluster gates the multi-machine serving subsystem: the determinism
+# suite (cluster-of-1 bit-identity, advance-order invariance, the pinned
+# sweep golden) must pass under the race detector, then a quick-profile
+# sweep runs end to end through the CLI.
+cluster:
+	$(GO) test -race -count=2 -run 'TestCluster|TestAffinityLocality|TestGoldenCluster' ./internal/cluster/ ./internal/exp/
+	$(GO) run ./cmd/schedbench -profile quick -experiment cluster
 
 # fuzz smoke-runs the opcode codec fuzz targets for a few seconds each
 # (go test accepts exactly one -fuzz pattern per invocation, hence three

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: machine|fig5|fig6|fig7|fig8|fig9|fig10|validate|model|resilience|all")
+		experiment = flag.String("experiment", "all", "which experiment to run: machine|fig5|fig6|fig7|fig8|fig9|fig10|validate|model|resilience|cluster|all")
 		profile    = flag.String("profile", "paper", "experiment scale: paper|quick")
 		reps       = flag.Int("reps", 0, "override repetitions per cell (0 = profile default)")
 		seed       = flag.Uint64("seed", 0, "override base seed (0 = profile default)")
@@ -206,8 +206,18 @@ func main() {
 			}
 			return exp.WriteResilienceCSV(fmt.Sprintf("%s/resilience.csv", *csvDir), points)
 		},
+		"cluster": func() error {
+			points, err := r.Cluster()
+			if err != nil || *csvDir == "" {
+				return err
+			}
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			return exp.WriteClusterCSV(fmt.Sprintf("%s/cluster.csv", *csvDir), p.MachineHT(), points)
+		},
 	}
-	order := []string{"machine", "validate", "model", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "resilience"}
+	order := []string{"machine", "validate", "model", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "resilience", "cluster"}
 
 	switch *experiment {
 	case "all":

@@ -12,6 +12,7 @@
 //	schedserve -sched ws -tracefile arrivals.txt
 //	schedserve -sched ws,pws,sb,sbd -sweep 100,1000,10000,100000 -csv sat.csv
 //	schedserve -sched sb -fault coreloss:50 -deadline 150000 -retries 2 -backoff 50000 -admission shed:100000:queue:3:-1
+//	schedserve -sched sb -cluster 4 -routing affinity -tenants 'gold:3;free:1:token:150000:2' -autoscale 400000:2:1:1
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/fault"
@@ -51,6 +53,11 @@ func main() {
 		sweep       = flag.String("sweep", "", "comma-separated rates for a saturation sweep (overrides single-run mode)")
 		csvPath     = flag.String("csv", "", "write results to this CSV file (sweep mode)")
 		verbose     = flag.Bool("v", false, "also print per-job lifecycle records")
+
+		clusterN  = flag.Int("cluster", 0, "simulate a fleet of this many machines (0 = single-machine serving)")
+		routing   = flag.String("routing", "rr", "cluster routing policy: "+strings.Join(cluster.RoutingPolicies(), "|"))
+		tenants   = flag.String("tenants", "", "cluster tenant mix: name:weight[:admission];... (admission gates at the front door)")
+		autoscale = flag.String("autoscale", "", "cluster autoscaler: epoch:up:down[:min[:lathigh]] (cycles, outstanding/machine)")
 	)
 	flag.Parse()
 
@@ -86,6 +93,17 @@ func main() {
 	}
 	if *faultSpec != "" && *duration <= 0 {
 		fatalUsage("-fault needs -duration > 0 to size the perturbation horizon")
+	}
+	// Cluster-mode flag validation, all up front: a bad combination exits
+	// 2 with usage before any simulation state is built.
+	cf := clusterFlags{
+		N: *clusterN, Routing: *routing, Tenants: *tenants, Autoscale: *autoscale,
+		Closed: *closed, Sweep: *sweep, Fault: *faultSpec,
+		Deadline: *deadline, Retries: *retries, Backoff: *backoff, Sample: *sample,
+	}
+	tenantSpecs, scalePolicy, err := cf.validate()
+	if err != nil {
+		fatalUsage("%v", err)
 	}
 
 	m, err := core.MachineByName(*machineName, *scale)
@@ -140,6 +158,60 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *csvPath)
+		}
+		return
+	}
+
+	if *clusterN > 0 {
+		fmt.Printf("machine: %s × %d\n", m, *clusterN)
+		if *traceFile == "" {
+			fmt.Printf("workload: %s\n", mix)
+		} else {
+			fmt.Printf("workload: trace %s\n", *traceFile)
+		}
+		for _, sc := range scheds {
+			// Arrival processes are stateful and single-use: build a fresh
+			// stream per scheduler so every fleet sees the same arrivals.
+			var arr serve.ArrivalProcess
+			if *traceFile != "" {
+				tr, err := serve.LoadTrace(*traceFile, *seed)
+				if err != nil {
+					fail(err)
+				}
+				arr = tr
+			} else {
+				arr = serve.NewPoisson(serve.PoissonConfig{
+					MeanGap: exp.MeanGapFor(m, *rate),
+					Horizon: int64(*duration * m.ClockGHz * 1e9),
+					MaxJobs: *maxJobs,
+					Mix:     mix,
+					Seed:    *seed,
+				})
+			}
+			rep, err := cluster.Run(cluster.Config{
+				Machine:   m,
+				Machines:  *clusterN,
+				Scheduler: sc,
+				Arrivals:  arr,
+				Routing:   *routing,
+				Admission: *admission,
+				Tenants:   tenantSpecs,
+				Scale:     scalePolicy,
+				Seed:      *seed,
+				LinksUsed: *links,
+			})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(rep)
+			if *verbose {
+				for mi, mrep := range rep.PerMachine {
+					for _, j := range mrep.Jobs {
+						fmt.Printf("  m%d job %-4d %-28s arr=%-12d adm=%-12d start=%-12d end=%-12d drop=%v\n",
+							mi, j.Tag, j.Spec, j.Arrival, j.Admitted, j.Start, j.End, j.Dropped)
+					}
+				}
+			}
 		}
 		return
 	}
@@ -226,6 +298,80 @@ func main() {
 			}
 		}
 	}
+}
+
+// clusterFlags bundles every flag that interacts with -cluster so the
+// exit-2 rules live in one testable place. Checks run in a fixed order,
+// so a given bad invocation always reports the same error.
+type clusterFlags struct {
+	N                           int
+	Routing, Tenants, Autoscale string
+	Closed                      int
+	Sweep, Fault                string
+	Deadline                    int64
+	Retries                     int
+	Backoff, Sample             int64
+}
+
+// validate enforces the cluster-mode flag rules and parses the tenant
+// and autoscaler specs. A nil error means the combination is runnable;
+// any error is a usage failure the caller should report with exit 2.
+func (f clusterFlags) validate() ([]cluster.TenantSpec, *cluster.ScalePolicy, error) {
+	if f.N < 0 {
+		return nil, nil, fmt.Errorf("-cluster must be >= 0 (got %d)", f.N)
+	}
+	if f.N == 0 {
+		needsCluster := []struct {
+			name string
+			set  bool
+		}{
+			{"-routing", f.Routing != "rr"},
+			{"-tenants", f.Tenants != ""},
+			{"-autoscale", f.Autoscale != ""},
+		}
+		for _, fl := range needsCluster {
+			if fl.set {
+				return nil, nil, fmt.Errorf("%s needs -cluster >= 1 (a fleet to route over)", fl.name)
+			}
+		}
+		return nil, nil, nil
+	}
+	if f.Closed > 0 {
+		return nil, nil, fmt.Errorf("-cluster is open-loop only and conflicts with -closed (the cluster front door never feeds completions back)")
+	}
+	if f.Sweep != "" {
+		return nil, nil, fmt.Errorf("-cluster conflicts with -sweep; use schedbench -experiment cluster for the grid")
+	}
+	unsupported := []struct {
+		name string
+		set  bool
+	}{
+		{"-fault", f.Fault != ""},
+		{"-deadline", f.Deadline != 0},
+		{"-retries", f.Retries != 0},
+		{"-backoff", f.Backoff != 0},
+		{"-sample", f.Sample != 0},
+	}
+	for _, fl := range unsupported {
+		if fl.set {
+			return nil, nil, fmt.Errorf("%s is not supported in -cluster mode", fl.name)
+		}
+	}
+	if _, err := cluster.ParseRouting(f.Routing); err != nil {
+		return nil, nil, err
+	}
+	tenantSpecs, err := cluster.ParseTenants(f.Tenants)
+	if err != nil {
+		return nil, nil, err
+	}
+	scalePolicy, err := cluster.ParseScale(f.Autoscale)
+	if err != nil {
+		return nil, nil, err
+	}
+	if scalePolicy != nil && scalePolicy.Min > f.N {
+		return nil, nil, fmt.Errorf("-autoscale min %d exceeds -cluster %d", scalePolicy.Min, f.N)
+	}
+	return tenantSpecs, scalePolicy, nil
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ScalePolicy is the deterministic autoscaler: evaluated at fixed epochs
+// of simulated time, on simulated signals only (outstanding work per
+// active machine and the fleet latency EWMA), so scaling decisions are a
+// pure function of the run and reproduce bit-identically.
+type ScalePolicy struct {
+	// Epoch is the evaluation period in cycles. Required, > 0.
+	Epoch int64
+	// Up scales out when outstanding work per active machine exceeds it.
+	Up int
+	// Down scales in when outstanding work per active machine falls below
+	// it (and more than Min machines are active). Must be < Up.
+	Down int
+	// Min is the floor on active machines; default 1.
+	Min int
+	// LatHigh, if > 0, also scales out when the fleet latency EWMA
+	// (cycles) exceeds it — the tail-latency escape hatch for workloads
+	// whose queues stay shallow while service times balloon.
+	LatHigh int64
+	// Cooldown is the number of epochs to hold after any scaling action;
+	// default 1 (act at most every other epoch).
+	Cooldown int
+}
+
+// ParseScale parses "epoch:up:down[:min[:lathigh]]".
+func ParseScale(s string) (*ScalePolicy, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	fields := strings.Split(s, ":")
+	if len(fields) < 3 || len(fields) > 5 {
+		return nil, fmt.Errorf("cluster: autoscale %q: want epoch:up:down[:min[:lathigh]]", s)
+	}
+	p := &ScalePolicy{Min: 1, Cooldown: 1}
+	var err error
+	if p.Epoch, err = strconv.ParseInt(fields[0], 10, 64); err != nil || p.Epoch <= 0 {
+		return nil, fmt.Errorf("cluster: autoscale %q: epoch must be a positive integer", s)
+	}
+	if p.Up, err = strconv.Atoi(fields[1]); err != nil || p.Up <= 0 {
+		return nil, fmt.Errorf("cluster: autoscale %q: up must be a positive integer", s)
+	}
+	if p.Down, err = strconv.Atoi(fields[2]); err != nil || p.Down < 0 {
+		return nil, fmt.Errorf("cluster: autoscale %q: down must be a non-negative integer", s)
+	}
+	if len(fields) >= 4 {
+		if p.Min, err = strconv.Atoi(fields[3]); err != nil || p.Min < 1 {
+			return nil, fmt.Errorf("cluster: autoscale %q: min must be >= 1", s)
+		}
+	}
+	if len(fields) == 5 {
+		if p.LatHigh, err = strconv.ParseInt(fields[4], 10, 64); err != nil || p.LatHigh < 0 {
+			return nil, fmt.Errorf("cluster: autoscale %q: lathigh must be non-negative", s)
+		}
+	}
+	if p.Down >= p.Up {
+		return nil, fmt.Errorf("cluster: autoscale %q: down (%d) must be below up (%d)", s, p.Down, p.Up)
+	}
+	return p, nil
+}
+
+// ScaleEvent records one autoscaler action, part of the fingerprint.
+type ScaleEvent struct {
+	Time    int64
+	Machine int
+	// Up is an activation (with cold-cache flush); !Up starts draining the
+	// machine, which deactivates once its outstanding work hits zero.
+	Up bool
+}
+
+func (e ScaleEvent) String() string {
+	dir := "down"
+	if e.Up {
+		dir = "up"
+	}
+	return fmt.Sprintf("t=%d %s m%d", e.Time, dir, e.Machine)
+}
+
+// evaluate runs one epoch decision at time now. Scale-up activates the
+// lowest-id inactive machine and latches its cold-start flush; scale-down
+// drains the highest-id active machine. At most one action per epoch,
+// none during cooldown.
+func (c *coordinator) evaluate(now int64) {
+	p := c.cfg.Scale
+	if c.cooldown > 0 {
+		c.cooldown--
+		return
+	}
+	active := 0
+	load := 0
+	for _, m := range c.ms {
+		if m.active && !m.draining {
+			active++
+			load += m.outstanding
+		}
+	}
+	if active == 0 {
+		return
+	}
+	perMachine := load / active
+	if perMachine > p.Up || (p.LatHigh > 0 && c.latEWMA > p.LatHigh) {
+		for _, m := range c.ms {
+			if !m.active {
+				m.active = true
+				m.coldFlush = true
+				c.cooldown = p.Cooldown
+				c.report.ScaleUps++
+				c.report.ScaleEvents = append(c.report.ScaleEvents, ScaleEvent{Time: now, Machine: m.id, Up: true})
+				return
+			}
+		}
+		return
+	}
+	if perMachine < p.Down && active > p.Min {
+		for i := len(c.ms) - 1; i >= 0; i-- {
+			m := c.ms[i]
+			if m.active && !m.draining {
+				m.draining = true
+				c.cooldown = p.Cooldown
+				c.report.ScaleDowns++
+				c.report.ScaleEvents = append(c.report.ScaleEvents, ScaleEvent{Time: now, Machine: m.id, Up: false})
+				return
+			}
+		}
+	}
+}
+
+// settleDraining deactivates drained machines: a draining machine with no
+// outstanding work leaves the active set (its engine keeps rendezvousing
+// at barriers, idle, and can be re-activated later with a cold flush).
+func (c *coordinator) settleDraining() {
+	for _, m := range c.ms {
+		if m.draining && m.outstanding == 0 {
+			m.draining = false
+			m.active = false
+		}
+	}
+}

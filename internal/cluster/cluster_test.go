@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/serve"
+)
+
+func testMachine() *machine.Desc { return machine.TwoSocket(4, 1<<16, 1<<12) }
+
+// testArrivals builds a fresh open-loop stream (arrival processes are
+// single-use). The mix must avoid "wset" when comparing against a plain
+// serving run: the cluster dispatcher builds wset jobs over shared
+// datasets, which is deliberately different memory layout.
+func testArrivals(t *testing.T, mix string, gap float64, jobs int, seed uint64) serve.ArrivalProcess {
+	t.Helper()
+	m, err := serve.ParseMix(mix)
+	if err != nil {
+		t.Fatalf("ParseMix(%q): %v", mix, err)
+	}
+	return serve.NewPoisson(serve.PoissonConfig{MeanGap: gap, MaxJobs: jobs, Mix: m, Seed: seed})
+}
+
+// TestClusterOneMachineBitIdentical pins the barrier protocol's key
+// property: rendezvous events are invisible to the simulation, so a
+// 1-machine cluster reproduces the equivalent single-machine serving run
+// bit for bit — same job timestamps, same cache counters, same wall time.
+func TestClusterOneMachineBitIdentical(t *testing.T) {
+	const adm = "queue:3:-1"
+	single, err := serve.Run(serve.Config{
+		Machine:   testMachine(),
+		Scheduler: "sb",
+		Arrivals:  testArrivals(t, "rrm:2000,quicksort:3000", 20_000, 8, 42),
+		Admission: mustAdmission(t, adm),
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("serve.Run: %v", err)
+	}
+	rep, err := Run(Config{
+		Machine:   testMachine(),
+		Machines:  1,
+		Scheduler: "sb",
+		Arrivals:  testArrivals(t, "rrm:2000,quicksort:3000", 20_000, 8, 42),
+		Routing:   "rr",
+		Admission: adm,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("cluster.Run: %v", err)
+	}
+	if got, want := rep.PerMachine[0].Fingerprint(), single.Fingerprint(); got != want {
+		t.Errorf("1-machine cluster diverged from the single-machine run:\n--- cluster m0 ---\n%s--- single ---\n%s", got, want)
+	}
+}
+
+func mustAdmission(t *testing.T, spec string) serve.Admission {
+	t.Helper()
+	a, err := serve.ParseAdmission(spec)
+	if err != nil {
+		t.Fatalf("ParseAdmission(%q): %v", spec, err)
+	}
+	return a
+}
+
+// fullConfig is a 4-machine configuration exercising every moving part:
+// affinity routing, two tenants with quotas, and the autoscaler.
+func fullConfig(t *testing.T) *Config {
+	t.Helper()
+	tenants, err := ParseTenants("gold:3;free:1:token:150000:2")
+	if err != nil {
+		t.Fatalf("ParseTenants: %v", err)
+	}
+	scale, err := ParseScale("400000:2:1:1")
+	if err != nil {
+		t.Fatalf("ParseScale: %v", err)
+	}
+	return &Config{
+		Machine:   testMachine(),
+		Machines:  4,
+		Scheduler: "sb",
+		Arrivals:  testArrivals(t, "rrm:2000,wset:3000", 25_000, 24, 11),
+		Routing:   "affinity",
+		Admission: "queue:2:-1",
+		Tenants:   tenants,
+		Scale:     scale,
+		Seed:      7,
+	}
+}
+
+// TestClusterDeterminism pins that an identically-configured cluster run
+// reproduces its fingerprint byte for byte.
+func TestClusterDeterminism(t *testing.T) {
+	runOnce := func() string {
+		rep, err := run(fullConfig(t), nil)
+		if err != nil {
+			t.Fatalf("cluster.Run: %v", err)
+		}
+		return rep.Fingerprint()
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Errorf("two identically-configured cluster runs diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestClusterAdvanceOrderInvariance pins that the order machines are
+// advanced between barriers is unobservable: completions are applied in
+// canonical (time, machine, tag) order, so any permutation yields the
+// same fingerprint.
+func TestClusterAdvanceOrderInvariance(t *testing.T) {
+	base, err := run(fullConfig(t), nil)
+	if err != nil {
+		t.Fatalf("cluster.Run: %v", err)
+	}
+	want := base.Fingerprint()
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}} {
+		rep, err := run(fullConfig(t), order)
+		if err != nil {
+			t.Fatalf("cluster.Run(order=%v): %v", order, err)
+		}
+		if got := rep.Fingerprint(); got != want {
+			t.Errorf("advance order %v changed the run:\n--- order %v ---\n%s--- identity ---\n%s", order, order, got, want)
+		}
+	}
+}
+
+// TestClusterRoutingPolicies sanity-checks each policy: conservation
+// (every arrival is shed, dropped, or completed) and, for round-robin,
+// that work actually spreads across the fleet.
+func TestClusterRoutingPolicies(t *testing.T) {
+	for _, policy := range RoutingPolicies() {
+		t.Run(policy, func(t *testing.T) {
+			rep, err := Run(Config{
+				Machine:   testMachine(),
+				Machines:  3,
+				Scheduler: "ws",
+				Arrivals:  testArrivals(t, "rrm:2000", 15_000, 12, 5),
+				Routing:   policy,
+				Admission: "queue:2:-1",
+				Seed:      3,
+			})
+			if err != nil {
+				t.Fatalf("Run(%s): %v", policy, err)
+			}
+			if rep.Routed != rep.Arrivals {
+				t.Errorf("%s: routed %d of %d arrivals (no tenants, so all should route)", policy, rep.Routed, rep.Arrivals)
+			}
+			if got := rep.Completed + rep.Dropped + rep.TimedOut; got != rep.Routed {
+				t.Errorf("%s: %d completed + %d dropped + %d timed out != %d routed",
+					policy, rep.Completed, rep.Dropped, rep.TimedOut, rep.Routed)
+			}
+			if policy == "rr" {
+				for i, n := range rep.PerMachineRouted {
+					if n == 0 {
+						t.Errorf("rr: machine %d received no work: %v", i, rep.PerMachineRouted)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterTenants pins per-tenant accounting: the weighted draw covers
+// both tenants, the free tenant's token bucket sheds its overflow at the
+// front door, and (with no machine-level drops) every tenant arrival is
+// either shed or completed.
+func TestClusterTenants(t *testing.T) {
+	tenants, err := ParseTenants("gold:3;free:1:token:400000:1")
+	if err != nil {
+		t.Fatalf("ParseTenants: %v", err)
+	}
+	rep, err := Run(Config{
+		Machine:   testMachine(),
+		Machines:  2,
+		Scheduler: "ws",
+		Arrivals:  testArrivals(t, "rrm:2000", 12_000, 20, 9),
+		Routing:   "least",
+		Admission: "always",
+		Tenants:   tenants,
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("want 2 tenant reports, got %d", len(rep.Tenants))
+	}
+	total := 0
+	for _, tn := range rep.Tenants {
+		if tn.Arrivals == 0 {
+			t.Errorf("tenant %s drew no arrivals", tn.Name)
+		}
+		if tn.Shed+tn.Completed != tn.Arrivals {
+			t.Errorf("tenant %s: %d shed + %d completed != %d arrivals", tn.Name, tn.Shed, tn.Completed, tn.Arrivals)
+		}
+		total += tn.Arrivals
+	}
+	if total != rep.Arrivals {
+		t.Errorf("tenant arrivals sum to %d, cluster saw %d", total, rep.Arrivals)
+	}
+	if rep.Tenants[1].Shed == 0 {
+		t.Errorf("free tenant's 1-token bucket shed nothing over %d arrivals", rep.Tenants[1].Arrivals)
+	}
+	if rep.QuotaShed != rep.Tenants[0].Shed+rep.Tenants[1].Shed {
+		t.Errorf("QuotaShed %d != tenant sheds %d+%d", rep.QuotaShed, rep.Tenants[0].Shed, rep.Tenants[1].Shed)
+	}
+}
+
+// TestClusterAutoscaler pins the scaler's shape: the fleet starts at Min,
+// overload activates machines (each activation is a recorded, cold-cache
+// event), and the whole trajectory is deterministic.
+func TestClusterAutoscaler(t *testing.T) {
+	cfg := func() *Config {
+		scale, err := ParseScale("150000:1:0:1")
+		if err != nil {
+			t.Fatalf("ParseScale: %v", err)
+		}
+		return &Config{
+			Machine:   testMachine(),
+			Machines:  3,
+			Scheduler: "ws",
+			Arrivals:  testArrivals(t, "rrm:2500", 8_000, 18, 13),
+			Routing:   "least",
+			Admission: "queue:1:-1",
+			Scale:     scale,
+			Seed:      2,
+		}
+	}
+	rep, err := Run(*cfg())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.InitialActive != 1 {
+		t.Errorf("InitialActive = %d, want Scale.Min = 1", rep.InitialActive)
+	}
+	if rep.ScaleUps == 0 {
+		t.Errorf("overloaded 1-machine start never scaled up: %+v", rep.ScaleEvents)
+	}
+	if len(rep.ScaleEvents) != rep.ScaleUps+rep.ScaleDowns {
+		t.Errorf("%d events recorded, want %d ups + %d downs", len(rep.ScaleEvents), rep.ScaleUps, rep.ScaleDowns)
+	}
+	rep2, err := Run(*cfg())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Fingerprint() != rep2.Fingerprint() {
+		t.Errorf("autoscaled runs diverged")
+	}
+}
+
+// TestAffinityLocality pins the tentpole's payoff scenario: a working-set
+// mix under load, where the affinity router keeps each working set's
+// requests on its home machine (warm caches) while least-loaded scatters
+// them (every migration rebuilds the set), costing L3 misses.
+func TestAffinityLocality(t *testing.T) {
+	runWith := func(routing string) *Report {
+		rep, err := Run(Config{
+			Machine:   testMachine(),
+			Machines:  4,
+			Scheduler: "sb",
+			Arrivals:  testArrivals(t, "wset:3000,wset:5000,wset:8000", 8_000, 30, 21),
+			Routing:   routing,
+			Admission: "queue:1:-1",
+			Seed:      6,
+		})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", routing, err)
+		}
+		return rep
+	}
+	aff, least := runWith("affinity"), runWith("least")
+	if aff.Completed != least.Completed {
+		t.Logf("note: affinity completed %d, least %d", aff.Completed, least.Completed)
+	}
+	if aff.L3Misses >= least.L3Misses {
+		t.Errorf("affinity routing did not save L3 misses: affinity=%d least=%d", aff.L3Misses, least.L3Misses)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	if _, err := ParseRouting("hash"); err == nil {
+		t.Errorf("ParseRouting accepted an unknown policy")
+	}
+	for _, bad := range []string{"solo", "a:0", "a:-2:always", "a:x"} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("ParseTenants(%q) succeeded, want error", bad)
+		}
+	}
+	for _, bad := range []string{"0:2:1", "100:2:2", "100:2:3", "100:0:0", "100:2:1:0", "100:2:1:1:x"} {
+		if _, err := ParseScale(bad); err == nil {
+			t.Errorf("ParseScale(%q) succeeded, want error", bad)
+		}
+	}
+	p, err := ParseScale("100000:4:1")
+	if err != nil {
+		t.Fatalf("ParseScale: %v", err)
+	}
+	if p.Min != 1 || p.Cooldown != 1 {
+		t.Errorf("ParseScale defaults: got min=%d cooldown=%d, want 1/1", p.Min, p.Cooldown)
+	}
+	if _, err := Run(Config{}); err == nil {
+		t.Errorf("Run accepted an empty Config")
+	}
+}

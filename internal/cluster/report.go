@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// TenantReport is one tenant's outcome.
+type TenantReport struct {
+	Name string
+	// Arrivals counts requests drawn for the tenant; Shed those refused by
+	// the tenant's front-door quota; Completed those that finished.
+	Arrivals, Shed, Completed int
+	// Latency is arrival→completion over the tenant's completed requests.
+	Latency serve.Quantiles
+}
+
+// Report is the outcome of one cluster run.
+type Report struct {
+	Routing   string
+	Scheduler string
+	Workload  string
+	// Machines is the fleet ceiling; InitialActive the machines active at
+	// time zero (ScalePolicy.Min under autoscaling, else Machines).
+	Machines, InitialActive int
+
+	// Arrivals counts every generated request; QuotaShed those refused at
+	// the tenant front door; Unroutable those with no eligible machine
+	// (cannot happen while any machine is active); Routed those delivered
+	// to a machine.
+	Arrivals, QuotaShed, Unroutable, Routed int
+	// Completed/Dropped/TimedOut/Shed aggregate the machine-level
+	// outcomes of routed requests.
+	Completed, Dropped, TimedOut, Shed int
+
+	// Latency is arrival→completion across the whole fleet.
+	Latency serve.Quantiles
+	// ThroughputPerSec is fleet completions per simulated second (wall =
+	// the slowest machine's drain time).
+	ThroughputPerSec float64
+	// WallCycles is the slowest machine's wall time; L3Misses and
+	// DRAMAccesses sum over machines.
+	WallCycles   int64
+	L3Misses     int64
+	DRAMAccesses int64
+
+	ScaleUps, ScaleDowns int
+	ScaleEvents          []ScaleEvent
+
+	// PerMachine holds each machine's full serving report (index =
+	// machine id); PerMachineRouted the router's placement counts.
+	PerMachine       []*serve.Report
+	PerMachineRouted []int
+	Tenants          []TenantReport
+}
+
+// assemble builds the Report from the drained machines.
+func (c *coordinator) assemble() *Report {
+	r := c.report
+	var lat []float64
+	for _, m := range c.ms {
+		rep := m.srv.Report(m.schedName, m.res)
+		r.PerMachine = append(r.PerMachine, rep)
+		r.Completed += rep.Completed
+		r.Dropped += rep.Dropped
+		r.TimedOut += rep.TimedOut
+		r.Shed += rep.Shed
+		r.L3Misses += rep.Result.L3Misses()
+		r.DRAMAccesses += rep.Result.DRAMAccesses
+		if rep.Result.WallCycles > r.WallCycles {
+			r.WallCycles = rep.Result.WallCycles
+		}
+		for _, j := range rep.Jobs {
+			if j.Completed() {
+				lat = append(lat, float64(j.Latency()))
+			}
+		}
+	}
+	r.Latency = serve.ComputeQuantiles(lat)
+	if r.WallCycles > 0 {
+		wallSec := float64(r.WallCycles) / (c.cfg.Machine.ClockGHz * 1e9)
+		r.ThroughputPerSec = float64(r.Completed) / wallSec
+	}
+	for i, tn := range c.tenants {
+		r.Tenants[i] = TenantReport{
+			Name:      tn.spec.Name,
+			Arrivals:  tn.arrivals,
+			Shed:      tn.shed,
+			Completed: tn.completed,
+			Latency:   serve.ComputeQuantiles(tn.latencies),
+		}
+	}
+	return r
+}
+
+// String renders a compact human summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster[%d×%s] routing=%s serving %s: %d arrivals, %d routed, %d completed",
+		r.Machines, r.Scheduler, r.Routing, r.Workload, r.Arrivals, r.Routed, r.Completed)
+	if r.QuotaShed > 0 {
+		fmt.Fprintf(&b, ", %d quota-shed", r.QuotaShed)
+	}
+	if r.Dropped > 0 || r.TimedOut > 0 {
+		fmt.Fprintf(&b, ", %d dropped, %d timed out", r.Dropped, r.TimedOut)
+	}
+	fmt.Fprintf(&b, "\n  latency p50=%.0f p95=%.0f p99=%.0f cycles  throughput=%.4g jobs/s  l3=%d",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.ThroughputPerSec, r.L3Misses)
+	if r.ScaleUps > 0 || r.ScaleDowns > 0 {
+		fmt.Fprintf(&b, "\n  autoscaler: %d up, %d down (start %d/%d active)",
+			r.ScaleUps, r.ScaleDowns, r.InitialActive, r.Machines)
+	}
+	for i := range r.Tenants {
+		t := &r.Tenants[i]
+		fmt.Fprintf(&b, "\n  tenant %s: %d arrivals, %d shed, %d completed, p99=%.0f",
+			t.Name, t.Arrivals, t.Shed, t.Completed, t.Latency.P99)
+	}
+	for i, rep := range r.PerMachine {
+		fmt.Fprintf(&b, "\n  m%d: routed=%d completed=%d wall=%d l3=%d",
+			i, r.PerMachineRouted[i], rep.Completed, rep.Result.WallCycles, rep.Result.L3Misses())
+	}
+	return b.String()
+}
+
+// Fingerprint renders every deterministic observable of the cluster run —
+// the fleet aggregates, each scale event, each tenant's outcome, and each
+// machine's full serving fingerprint — into one canonical string. Two
+// runs of the same Config must produce byte-identical fingerprints
+// regardless of machine advance order; the cluster determinism tests and
+// the experiment goldens pin its hash.
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster routing=%s machines=%d active0=%d sched=%s workload=%s\n",
+		r.Routing, r.Machines, r.InitialActive, r.Scheduler, r.Workload)
+	fmt.Fprintf(&b, "arrivals=%d quotashed=%d unroutable=%d routed=%d completed=%d dropped=%d timedout=%d shed=%d\n",
+		r.Arrivals, r.QuotaShed, r.Unroutable, r.Routed, r.Completed, r.Dropped, r.TimedOut, r.Shed)
+	fmt.Fprintf(&b, "latency=%v\n", r.Latency)
+	fmt.Fprintf(&b, "wall=%d l3=%d dram=%d\n", r.WallCycles, r.L3Misses, r.DRAMAccesses)
+	for _, e := range r.ScaleEvents {
+		fmt.Fprintf(&b, "scale %s\n", e)
+	}
+	for i := range r.Tenants {
+		t := &r.Tenants[i]
+		fmt.Fprintf(&b, "tenant %s arrivals=%d shed=%d completed=%d latency=%v\n",
+			t.Name, t.Arrivals, t.Shed, t.Completed, t.Latency)
+	}
+	for i, rep := range r.PerMachine {
+		fmt.Fprintf(&b, "--- machine %d routed=%d ---\n", i, r.PerMachineRouted[i])
+		b.WriteString(rep.Fingerprint())
+	}
+	return b.String()
+}

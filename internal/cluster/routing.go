@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Router picks the machine for an admitted request. Pick runs once per
+// routed request — at 100k+ requests per sweep cell it is a hot path and
+// must not allocate. It returns the machine id, or -1 when no machine is
+// eligible (never happens while at least one machine is active). The
+// coordinator exposes the candidate set as c.ms: a machine is eligible
+// when active and not draining.
+type Router interface {
+	Name() string
+	Pick(c *coordinator, sig uint64, tenant int) int
+}
+
+// RoutingPolicies lists the accepted policy names.
+func RoutingPolicies() []string { return []string{"rr", "least", "qdepth", "affinity"} }
+
+// ParseRouting resolves a policy name.
+func ParseRouting(name string) (Router, error) {
+	switch strings.ToLower(name) {
+	case "rr", "roundrobin", "round-robin":
+		return &rrRouter{}, nil
+	case "least", "least-loaded", "leastloaded":
+		return &leastRouter{}, nil
+	case "qdepth", "queue", "queue-depth":
+		return &qdepthRouter{}, nil
+	case "affinity", "anchor-affinity":
+		return &affinityRouter{slack: affinitySlack}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown routing policy %q (have %s)",
+		name, strings.Join(RoutingPolicies(), ", "))
+}
+
+// eligible reports whether machine i accepts new work.
+//
+//schedlint:hotpath
+func eligible(c *coordinator, i int) bool {
+	m := c.ms[i]
+	return m.active && !m.draining
+}
+
+// fairBetter is the shared tie-break: between two machines equal on a
+// policy's primary score, prefer the one serving fewer of this tenant's
+// outstanding jobs (per-tenant fair share), then the lower id. Returns
+// true when machine a beats machine b. With no tenants (tenant < 0) it
+// degenerates to lowest-id.
+//
+//schedlint:hotpath
+func fairBetter(c *coordinator, tenant, a, b int) bool {
+	if tenant >= 0 {
+		ta, tb := c.ms[a].perTenant[tenant], c.ms[b].perTenant[tenant]
+		if ta != tb {
+			return ta < tb
+		}
+	}
+	return a < b
+}
+
+// rrRouter rotates over eligible machines in id order, skipping inactive
+// ones without consuming their turn.
+type rrRouter struct {
+	next int
+}
+
+func (r *rrRouter) Name() string { return "rr" }
+
+//schedlint:hotpath
+func (r *rrRouter) Pick(c *coordinator, _ uint64, _ int) int {
+	n := len(c.ms)
+	for k := 0; k < n; k++ {
+		i := (r.next + k) % n
+		if eligible(c, i) {
+			r.next = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// leastRouter picks the machine with the fewest outstanding jobs (queued,
+// in flight, or pending delivery), fair-share tie-broken.
+type leastRouter struct{}
+
+func (leastRouter) Name() string { return "least" }
+
+//schedlint:hotpath
+func (leastRouter) Pick(c *coordinator, _ uint64, tenant int) int {
+	best := -1
+	for i := range c.ms {
+		if !eligible(c, i) {
+			continue
+		}
+		switch {
+		case best < 0,
+			c.ms[i].outstanding < c.ms[best].outstanding,
+			c.ms[i].outstanding == c.ms[best].outstanding && fairBetter(c, tenant, i, best):
+			best = i
+		}
+	}
+	return best
+}
+
+// qdepthRouter picks the machine with the shallowest admission wait queue,
+// breaking ties by outstanding work, then fair share. Unlike least it
+// ignores in-flight jobs — it chases the backpressure signal a front-end
+// actually sees.
+type qdepthRouter struct{}
+
+func (qdepthRouter) Name() string { return "qdepth" }
+
+//schedlint:hotpath
+func (qdepthRouter) Pick(c *coordinator, _ uint64, tenant int) int {
+	best, bestQ := -1, 0
+	for i := range c.ms {
+		if !eligible(c, i) {
+			continue
+		}
+		q := c.ms[i].srv.QueueLen()
+		switch {
+		case best < 0,
+			q < bestQ,
+			q == bestQ && c.ms[i].outstanding < c.ms[best].outstanding,
+			q == bestQ && c.ms[i].outstanding == c.ms[best].outstanding && fairBetter(c, tenant, i, best):
+			best, bestQ = i, q
+		}
+	}
+	return best
+}
+
+// affinitySlack is how much deeper (in outstanding jobs) a working set's
+// home machine may be than the least-loaded machine before affinity yields
+// to load balance. Small enough that a hot home cannot build an unbounded
+// convoy, large enough that transient imbalance does not scatter a working
+// set across the fleet (every migration restarts the warm-up).
+const affinitySlack = 4
+
+// affinityRouter sends each working-set signature to a sticky home
+// machine, falling back to least-loaded (which then becomes the new home)
+// when the home is gone or overloaded past the slack. Deterministic: the
+// home table is keyed by signature and updated only here.
+type affinityRouter struct {
+	slack int
+}
+
+func (*affinityRouter) Name() string { return "affinity" }
+
+//schedlint:hotpath
+func (r *affinityRouter) Pick(c *coordinator, sig uint64, tenant int) int {
+	fallback := leastRouter{}.Pick(c, sig, tenant)
+	if fallback < 0 {
+		return -1
+	}
+	home, ok := c.home[sig]
+	if ok && eligible(c, home) &&
+		c.ms[home].outstanding <= c.ms[fallback].outstanding+r.slack {
+		return home
+	}
+	c.home[sig] = fallback
+	return fallback
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// TenantSpec declares one tenant of the cluster: a share of the arrival
+// stream and an optional per-tenant admission stack applied at the
+// front door, before routing.
+type TenantSpec struct {
+	Name string
+	// Weight is the tenant's share of arrivals (relative to the sum of all
+	// weights). Must be positive.
+	Weight int
+	// Admission is a serve.ParseAdmission spec ("always",
+	// "token:<i>:<b>", "shed:...", ...) gating this tenant's requests at
+	// the cluster front door; empty means always admit. Refused requests
+	// are dropped (quota-shed) — there is no cluster-level queue, the
+	// per-machine admission queues provide the backpressure.
+	Admission string
+}
+
+// ParseTenants parses "name:weight[:admission];name:weight[:admission]".
+// The admission field may itself contain ':' (e.g. "token:50000:8"), so
+// everything after the second colon belongs to it.
+func ParseTenants(s string) ([]TenantSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var specs []TenantSpec
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, ":", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("cluster: tenant %q: want name:weight[:admission]", part)
+		}
+		w, err := strconv.Atoi(fields[1])
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("cluster: tenant %q: weight must be a positive integer", part)
+		}
+		t := TenantSpec{Name: fields[0], Weight: w}
+		if len(fields) == 3 {
+			t.Admission = fields[2]
+		}
+		specs = append(specs, t)
+	}
+	return specs, nil
+}
+
+// tenant is the runtime state of one TenantSpec.
+type tenant struct {
+	spec TenantSpec
+	adm  serve.Admission
+	// outstanding counts admitted-but-unfinished jobs across the fleet;
+	// it is the inFlight argument to the tenant's admission policy.
+	outstanding int
+
+	arrivals  int
+	shed      int
+	completed int
+	latencies []float64
+}
+
+func newTenants(specs []TenantSpec) ([]*tenant, int, error) {
+	tenants := make([]*tenant, len(specs))
+	total := 0
+	for i, sp := range specs {
+		spec := sp.Admission
+		if spec == "" {
+			spec = "always"
+		}
+		adm, err := serve.ParseAdmission(spec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("cluster: tenant %q: %w", sp.Name, err)
+		}
+		tenants[i] = &tenant{spec: sp, adm: adm}
+		total += sp.Weight
+	}
+	return tenants, total, nil
+}
+
+// mix64 is the splitmix64 finalizer, used for the tenant draw and the
+// working-set signature so both are pure functions of their inputs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// tenantOf draws the tenant of the idx-th arrival: a deterministic
+// weighted hash of (seed, index), independent of routing and fleet size.
+// Returns -1 when the cluster has no tenants.
+func (c *coordinator) tenantOf(idx int) int {
+	if len(c.tenants) == 0 {
+		return -1
+	}
+	x := mix64(c.cfg.Seed ^ (uint64(idx)+1)*clusterSeedStep)
+	r := int(x % uint64(c.weightSum))
+	for i, t := range c.tenants {
+		r -= t.spec.Weight
+		if r < 0 {
+			return i
+		}
+	}
+	return len(c.tenants) - 1
+}
+
+// sigOf is the working-set signature of a request: kernel, size and
+// tenant hashed together. Two requests with equal signatures touch the
+// same shared dataset (for kernels that support sharing), so the affinity
+// router keeps them on one machine.
+func sigOf(spec serve.JobSpec, tenant int) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(spec.Kernel); i++ {
+		h ^= uint64(spec.Kernel[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(spec.N) * clusterSeedStep
+	h *= 1099511628211
+	return mix64(h ^ (uint64(tenant+1) * 0x9e3779b97f4a7c15))
+}

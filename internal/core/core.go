@@ -117,7 +117,7 @@ type BenchOpts struct {
 
 // Benchmarks lists the names accepted by NewKernel, in the paper's order.
 func Benchmarks() []string {
-	return []string{"rrm", "rrg", "quicksort", "samplesort", "awaresamplesort", "quadtree", "matmul"}
+	return []string{"rrm", "rrg", "quicksort", "samplesort", "awaresamplesort", "quadtree", "matmul", "wset"}
 }
 
 // NewKernel constructs a named benchmark in sp, sized by o, for machine m
@@ -151,6 +151,9 @@ func NewKernel(name string, sp *mem.Space, m *machine.Desc, o BenchOpts) (kernel
 	case "matmul":
 		n := defaultN(o.N, 256)
 		return kernels.NewMatMul(sp, kernels.MatMulConfig{N: n, Seed: seed}), nil
+	case "wset":
+		n := defaultN(o.N, 100_000)
+		return kernels.NewWSet(sp, kernels.WSetConfig{N: n, Grain: o.Cutoff, Seed: seed}), nil
 	}
 	return nil, fmt.Errorf("core: unknown benchmark %q (have %s)", name, strings.Join(Benchmarks(), ", "))
 }

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func clusterSweepConfig(t *testing.T) ClusterConfig {
+	t.Helper()
+	mix, err := serve.NewMix(
+		serve.MixEntry{Kernel: "rrm", N: 2000, Weight: 1},
+		serve.MixEntry{Kernel: "wset", N: 3000, Weight: 2},
+	)
+	if err != nil {
+		t.Fatalf("NewMix: %v", err)
+	}
+	return ClusterConfig{
+		Machine:     Quick().MachineHT(),
+		Machines:    3,
+		Scheduler:   "sb",
+		Routings:    []string{"least", "affinity"},
+		Scales:      []string{"", "300000:2:1:1"},
+		TenantMixes: []string{"", "gold:3;free:1:token:200000:2"},
+		Mix:         mix,
+		RatePerSec:  40_000,
+		MaxJobs:     10,
+		Admission:   "queue:2:-1",
+		Seed:        42,
+	}
+}
+
+// TestClusterSweep checks the grid shape, per-cell conservation, and the
+// CSV export round-trip.
+func TestClusterSweep(t *testing.T) {
+	points, err := ClusterSweep(clusterSweepConfig(t))
+	if err != nil {
+		t.Fatalf("ClusterSweep: %v", err)
+	}
+	if len(points) != 2*2*2 {
+		t.Fatalf("want 8 cells, got %d", len(points))
+	}
+	rows := 0
+	for _, p := range points {
+		r := p.Report
+		if r.Arrivals == 0 {
+			t.Errorf("cell %s/%q/%q saw no arrivals", p.Routing, p.Scale, p.Tenants)
+		}
+		if got := r.Completed + r.Dropped + r.TimedOut; got != r.Routed {
+			t.Errorf("cell %s/%q/%q: %d outcomes != %d routed", p.Routing, p.Scale, p.Tenants, got, r.Routed)
+		}
+		rows += 1 + len(r.Tenants)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.csv")
+	if err := WriteClusterCSV(path, Quick().MachineHT(), points); err != nil {
+		t.Fatalf("WriteClusterCSV: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open csv: %v", err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("read csv: %v", err)
+	}
+	if len(recs) != rows+1 {
+		t.Errorf("csv has %d records, want %d rows + header", len(recs), rows)
+	}
+}
+
+// TestGoldenCluster pins the whole sweep's fingerprint: routing
+// decisions, tenant draws and quotas, autoscaler events, and every
+// machine's full serving fingerprint in every cell. Any behavioural
+// drift in the cluster stack fails here.
+func TestGoldenCluster(t *testing.T) {
+	points, err := ClusterSweep(clusterSweepConfig(t))
+	if err != nil {
+		t.Fatalf("ClusterSweep: %v", err)
+	}
+	checkGolden(t, "cluster/sweep", ClusterSweepFingerprint(points))
+}

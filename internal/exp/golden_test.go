@@ -33,6 +33,7 @@ var goldenFingerprints = map[string]string{
 	"quicksort/sb":  "6894c20ab5059c734276dc95cf6cfeba79bdda7d967a6ba92ad6052bd52dc67e",
 	"quicksort/sbd": "6b5311363816ebe236c872f872668135ceecf846d8580c920c2148f40550ff0d",
 	"serving/sb":    "4f2afe90be7e0eab7cf9cca297654d18155494acfd1d19398395568eadd9eab7",
+	"cluster/sweep": "ecaf6f256e496b0425551a8c0206b9fe385c94146bacdec79ef91bbb4a4b8462",
 }
 
 func hashFingerprint(fp string) string {

@@ -39,6 +39,15 @@ type Profile struct {
 	QuadCutoff int
 	MatmulN    int
 	MatmulBase int
+
+	// Cluster sweep sizing (the multi-machine serving experiment): fleet
+	// size, arrivals per grid cell, the two mix kernel sizes (working-set
+	// scans dominate so routing locality matters), and the offered rate.
+	ClusterMachines int
+	ClusterJobs     int
+	ClusterWSetN    int
+	ClusterRRMN     int
+	ClusterRate     float64
 }
 
 // Paper returns the full-scale profile: the Xeon 7560 at 1/64 cache scale
@@ -62,6 +71,12 @@ func Paper() Profile {
 		QuadCutoff:   256, // paper: 16K points at full scale → /64
 		MatmulN:      512, // 3 matrices = 6MB ≈ 16 L3 capacities
 		MatmulBase:   16,  // scaled stand-in for the paper's 128×128 MKL base
+
+		ClusterMachines: 4,
+		ClusterJobs:     6_500,  // 16 grid cells → 104k requests per sweep
+		ClusterWSetN:    24_000, // 192KB working set vs 384KB scaled L3
+		ClusterRRMN:     8_000,
+		ClusterRate:     200_000,
 	}
 }
 
@@ -84,6 +99,12 @@ func Quick() Profile {
 		QuadCutoff:   128,
 		MatmulN:      128,
 		MatmulBase:   16,
+
+		ClusterMachines: 3,
+		ClusterJobs:     40,
+		ClusterWSetN:    3_000,
+		ClusterRRMN:     2_000,
+		ClusterRate:     60_000,
 	}
 }
 

@@ -24,10 +24,47 @@ func For(lo, hi, grain int, size RangeSize, body func(Ctx, int)) Job {
 // index range [lo, hi).
 type RangeSize func(lo, hi int) int64
 
+// ForPair is the recyclable fork context of one parallel-for split: the
+// two child range records plus the prebuilt child slice handed to
+// Ctx.Fork. Pooling these (see ForPairAllocator) makes the steady-state
+// parallel-for path allocation-free: the child jobs live inside the pair,
+// the Job interfaces are single-pointer (no boxing allocation), and
+// refs[:] passes through Fork's variadic without a fresh slice.
+type ForPair struct {
+	kids [2]forJob
+	refs [2]Job
+}
+
+// ForPairAllocator is an optional extension of Ctx: a runtime that pools
+// parallel-for fork contexts implements it, and recycles each pair via
+// PairRecycler once the splitting task — and therefore both children —
+// has completed. Contexts without it fall back to plain allocation.
+type ForPairAllocator interface {
+	AllocForPair() *ForPair
+}
+
+// PairRecycler is implemented by parallel-for jobs that own a ForPair for
+// their children. TakeChildPair surrenders it (nil when the job never
+// split); the runtime may recycle the pair only once the job's task has
+// fully completed, since the children live inside it.
+type PairRecycler interface {
+	TakeChildPair() *ForPair
+}
+
+func allocPair(ctx Ctx) *ForPair {
+	if a, ok := ctx.(ForPairAllocator); ok {
+		return a.AllocForPair()
+	}
+	return new(ForPair)
+}
+
 type forJob struct {
 	lo, hi, grain int
 	size          RangeSize
 	body          func(Ctx, int)
+	// childPair is the fork context allocated when this job split; the
+	// runtime reclaims it through TakeChildPair at task end.
+	childPair *ForPair
 }
 
 // Run implements Job: leaf ranges run serially; larger ranges fork in two.
@@ -39,9 +76,20 @@ func (f *forJob) Run(ctx Ctx) {
 		return
 	}
 	mid := f.lo + (f.hi-f.lo)/2
-	left := &forJob{lo: f.lo, hi: mid, grain: f.grain, size: f.size, body: f.body}
-	right := &forJob{lo: mid, hi: f.hi, grain: f.grain, size: f.size, body: f.body}
-	ctx.Fork(nil, left, right)
+	p := allocPair(ctx)
+	p.kids[0] = forJob{lo: f.lo, hi: mid, grain: f.grain, size: f.size, body: f.body}
+	p.kids[1] = forJob{lo: mid, hi: f.hi, grain: f.grain, size: f.size, body: f.body}
+	p.refs[0] = &p.kids[0]
+	p.refs[1] = &p.kids[1]
+	f.childPair = p
+	ctx.Fork(nil, p.refs[:]...)
+}
+
+// TakeChildPair implements PairRecycler.
+func (f *forJob) TakeChildPair() *ForPair {
+	p := f.childPair
+	f.childPair = nil
+	return p
 }
 
 // Size implements SBJob.
@@ -69,10 +117,17 @@ func (p plainForJob) Run(ctx Ctx) {
 		return
 	}
 	mid := f.lo + (f.hi-f.lo)/2
-	left := plainForJob{&forJob{lo: f.lo, hi: mid, grain: f.grain, body: f.body}}
-	right := plainForJob{&forJob{lo: mid, hi: f.hi, grain: f.grain, body: f.body}}
-	ctx.Fork(nil, left, right)
+	pr := allocPair(ctx)
+	pr.kids[0] = forJob{lo: f.lo, hi: mid, grain: f.grain, body: f.body}
+	pr.kids[1] = forJob{lo: mid, hi: f.hi, grain: f.grain, body: f.body}
+	pr.refs[0] = plainForJob{&pr.kids[0]}
+	pr.refs[1] = plainForJob{&pr.kids[1]}
+	f.childPair = pr
+	ctx.Fork(nil, pr.refs[:]...)
 }
+
+// TakeChildPair implements PairRecycler.
+func (p plainForJob) TakeChildPair() *ForPair { return p.f.TakeChildPair() }
 
 // Seq returns a Job that runs the given jobs' top-level strands one after
 // another as successive strands of a single task, i.e. a serial composition

@@ -42,7 +42,7 @@ var Analyzer = &analysis.Analyzer{
 // core, where the structural checks apply in addition to the universal
 // wall-clock/math-rand checks.
 func coreScoped(pkgPath string) bool {
-	for _, seg := range []string{"sim", "sched", "cachesim", "job", "exp"} {
+	for _, seg := range []string{"sim", "sched", "cachesim", "job", "exp", "cluster"} {
 		if analysis.PathHasSegments(pkgPath, "internal", seg) {
 			return true
 		}

@@ -86,10 +86,19 @@ func (b *BoundedQueue) QueueCap() int { return b.MaxQueue }
 
 // TokenBucket polices the arrival rate: one token accrues every Interval
 // cycles up to Burst, each admitted job spends one, and arrivals finding
-// the bucket empty are dropped (policing, not shaping — no queue).
+// the bucket empty are dropped (policing — without an Inner policy there
+// is no queue).
+//
+// An optional Inner policy composes concurrency control under the rate
+// limit: Admit then requires both a token and the inner policy's assent,
+// and the token is only spent when the job actually dispatches, so a job
+// the inner policy parks in the wait queue pays for its (later) release,
+// not for the failed attempt. See the canonical-order note on HealthShed
+// for where TokenBucket belongs in a composed stack.
 type TokenBucket struct {
 	Interval int64
 	Burst    int64
+	Inner    Admission
 
 	tokens int64
 	last   int64
@@ -104,15 +113,28 @@ func NewTokenBucket(interval int64, burst int) *TokenBucket {
 	return &TokenBucket{Interval: interval, Burst: int64(burst), tokens: int64(burst)}
 }
 
+// NewTokenBucketOver is NewTokenBucket with an inner policy under the
+// rate limit.
+func NewTokenBucketOver(interval int64, burst int, inner Admission) *TokenBucket {
+	t := NewTokenBucket(interval, burst)
+	t.Inner = inner
+	return t
+}
+
 // Name implements Admission.
-func (t *TokenBucket) Name() string { return fmt.Sprintf("token(%d,%d)", t.Interval, t.Burst) }
+func (t *TokenBucket) Name() string {
+	if t.Inner != nil {
+		return fmt.Sprintf("token(%d,%d,%s)", t.Interval, t.Burst, t.Inner.Name())
+	}
+	return fmt.Sprintf("token(%d,%d)", t.Interval, t.Burst)
+}
 
 // Admit implements Admission. The constructor enforces Interval >= 1 and
 // Burst >= 1, but the struct is exported and a zero-field literal must
 // degrade safely rather than divide by zero or spin: Burst <= 0 admits
 // nothing (the bucket can never hold a token), and Interval <= 0 refills
 // instantly (every arrival finds a full bucket).
-func (t *TokenBucket) Admit(now int64, _ int) bool {
+func (t *TokenBucket) Admit(now int64, inFlight int) bool {
 	if t.Burst <= 0 {
 		return false
 	}
@@ -129,15 +151,26 @@ func (t *TokenBucket) Admit(now int64, _ int) bool {
 			t.last += n * t.Interval
 		}
 	}
-	if t.tokens > 0 {
-		t.tokens--
-		return true
+	if t.tokens <= 0 {
+		return false
 	}
-	return false
+	if t.Inner != nil && !t.Inner.Admit(now, inFlight) {
+		// Refused downstream: keep the token. The job parks in the inner
+		// policy's wait queue (or drops at its cap) and will spend a token
+		// when a completion releases it through this Admit again.
+		return false
+	}
+	t.tokens--
+	return true
 }
 
-// QueueCap implements Admission.
-func (t *TokenBucket) QueueCap() int { return 0 }
+// QueueCap implements Admission: the inner policy's queue when present.
+func (t *TokenBucket) QueueCap() int {
+	if t.Inner != nil {
+		return t.Inner.QueueCap()
+	}
+	return 0
+}
 
 // --- health-reactive shedding ----------------------------------------------
 
@@ -148,6 +181,18 @@ func (t *TokenBucket) QueueCap() int { return 0 }
 // Threshold. Under an injected machine fault the EWMA inflates, arrivals
 // are turned away instead of queueing behind a degraded machine, and
 // admission recovers as soon as completions speed back up.
+//
+// Canonical composition order: HealthShed OUTERMOST, TokenBucket inside
+// it, BoundedQueue innermost — shed(θ, token(i, b, queue(n, cap))).
+// Composition order is not commutative, and the asymmetry is structural:
+// the server consults the optional Shedder and LatencyObserver interfaces
+// only on the OUTERMOST policy (one type assertion at each arrival and
+// completion, never a traversal). A HealthShed buried inside a
+// TokenBucket therefore never sees a completion — its EWMA stays frozen
+// at zero and it never sheds — while the outer bucket still spends
+// tokens. TestAdmissionCompositionOrder pins the difference; ParseAdmission
+// and the schedserve/cluster tenant stacks always build the canonical
+// order.
 type HealthShed struct {
 	Inner     Admission
 	Threshold int64
@@ -183,8 +228,12 @@ func (h *HealthShed) Observe(_, latency int64) { h.ewma += (latency - h.ewma) / 
 //
 //	always                 admit everything
 //	queue:<inflight>:<cap> bounded in-flight with a wait queue (cap<0 = unbounded)
-//	token:<interval>:<burst> token bucket, one token per interval cycles
+//	token:<interval>:<burst>[:<inner>] token bucket, one token per interval cycles,
+//	                       optionally over an inner policy
 //	shed:<threshold>:<inner> latency-reactive shedding around an inner policy
+//
+// Nesting follows the spec left-to-right, which matches the canonical
+// composition order (see HealthShed): shed:θ:token:i:b:queue:n:cap.
 func ParseAdmission(s string) (Admission, error) {
 	fields := strings.Split(strings.TrimSpace(s), ":")
 	switch fields[0] {
@@ -201,13 +250,20 @@ func ParseAdmission(s string) (Admission, error) {
 		}
 		return NewBoundedQueue(inflight, qcap), nil
 	case "token":
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("serve: want token:<interval>:<burst>, got %q", s)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("serve: want token:<interval>:<burst>[:<inner>], got %q", s)
 		}
 		interval, err1 := strconv.ParseInt(fields[1], 10, 64)
 		burst, err2 := strconv.Atoi(fields[2])
 		if err1 != nil || err2 != nil || interval < 1 || burst < 1 {
 			return nil, fmt.Errorf("serve: bad token policy %q", s)
+		}
+		if len(fields) > 3 {
+			inner, err := ParseAdmission(strings.Join(fields[3:], ":"))
+			if err != nil {
+				return nil, err
+			}
+			return NewTokenBucketOver(interval, burst, inner), nil
 		}
 		return NewTokenBucket(interval, burst), nil
 	case "shed":

@@ -1,0 +1,89 @@
+package serve
+
+import "testing"
+
+// compositionArrivals: the first job's completion inflates the latency
+// EWMA far past a threshold of 1, so a live (outermost) HealthShed must
+// shed the second arrival.
+func compositionArrivals() ArrivalProcess {
+	return NewTrace([]Arrival{
+		{Time: 0, Spec: JobSpec{Kernel: "rrm", N: 1500, Seed: 1}},
+		{Time: 50_000_000, Spec: JobSpec{Kernel: "rrm", N: 1500, Seed: 2}},
+	})
+}
+
+// TestAdmissionCompositionOrder proves wrapper order is not commutative
+// and pins the canonical choice (HealthShed outermost; see the HealthShed
+// doc). The server consults the Shedder/LatencyObserver extensions only
+// on the outermost policy, so shed(token(...)) observes completions and
+// sheds once the EWMA inflates, while token(shed(...)) starves the inner
+// HealthShed of completions — its EWMA stays frozen at zero and every
+// arrival sails through.
+func TestAdmissionCompositionOrder(t *testing.T) {
+	run := func(adm Admission) *Report {
+		rep, err := Run(Config{
+			Machine:   testMachine(),
+			Scheduler: "ws",
+			Arrivals:  compositionArrivals(),
+			Admission: adm,
+			Seed:      3,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep
+	}
+
+	canonical := run(NewHealthShed(NewTokenBucketOver(1, 10, NewBoundedQueue(4, -1)), 1))
+	inverted := run(&TokenBucket{Interval: 1, Burst: 10, tokens: 10,
+		Inner: NewHealthShed(NewBoundedQueue(4, -1), 1)})
+
+	if canonical.Shed != 1 || canonical.Completed != 1 {
+		t.Errorf("canonical shed(token(queue)): want 1 shed / 1 completed, got %s", canonical)
+	}
+	if inverted.Shed != 0 || inverted.Completed != 2 {
+		t.Errorf("inverted token(shed(queue)): want 0 shed / 2 completed (frozen EWMA), got %s", inverted)
+	}
+	if canonical.Shed == inverted.Shed {
+		t.Errorf("composition orders must differ: both shed %d", canonical.Shed)
+	}
+}
+
+// TestParseAdmissionCanonicalStack: the spec grammar nests left-to-right,
+// so the full canonical stack parses into shed outermost, token middle,
+// queue innermost, and token keeps its two-field form.
+func TestParseAdmissionCanonicalStack(t *testing.T) {
+	a, err := ParseAdmission("shed:500:token:10:2:queue:4:-1")
+	if err != nil {
+		t.Fatalf("ParseAdmission: %v", err)
+	}
+	if got, want := a.Name(), "shed(500,token(10,2,queue(4,-1)))"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+	if _, err := ParseAdmission("token:10:2:nope"); err == nil {
+		t.Error("bad inner policy under token not rejected")
+	}
+}
+
+// TestTokenBucketInnerSpendsOnDispatch: a token is only consumed when the
+// inner policy actually dispatches the job; a queued job spends its token
+// at release, not at the failed attempt.
+func TestTokenBucketInnerSpendsOnDispatch(t *testing.T) {
+	tb := NewTokenBucketOver(1_000_000_000, 1, NewBoundedQueue(1, -1))
+	if !tb.Admit(0, 0) {
+		t.Fatal("first arrival should dispatch (token + free slot)")
+	}
+	if tb.tokens != 0 {
+		t.Fatalf("dispatch must spend the token, have %d", tb.tokens)
+	}
+	tb.tokens = 1
+	if tb.Admit(1, 1) {
+		t.Fatal("second arrival must be refused by the inner queue")
+	}
+	if tb.tokens != 1 {
+		t.Fatalf("refused attempt must not spend the token, have %d", tb.tokens)
+	}
+	if got := tb.QueueCap(); got != -1 {
+		t.Fatalf("QueueCap must delegate to inner, got %d", got)
+	}
+}

@@ -60,6 +60,10 @@ type Quantiles struct {
 	P50, P95, P99, Mean, Max float64
 }
 
+// ComputeQuantiles summarizes a latency-like sample set; the cluster
+// report uses it for per-tenant and fleet-wide tails.
+func ComputeQuantiles(xs []float64) Quantiles { return quantiles(xs) }
+
 func quantiles(xs []float64) Quantiles {
 	if len(xs) == 0 {
 		return Quantiles{}

@@ -55,7 +55,23 @@ type Config struct {
 	// Faults injects deterministic machine perturbations into the serving
 	// run (see fault.Plan); nil or empty leaves the run unperturbed.
 	Faults *fault.Plan
+
+	// Dispatch, if non-nil, materializes the executable kernel for an
+	// admitted job instead of the default core.NewKernel construction in
+	// the server's own address space. The cluster subsystem uses it to
+	// build jobs over shared per-machine datasets so repeated requests
+	// with the same working set hit warm caches.
+	Dispatch Dispatcher
+	// OnDropped, if non-nil, is called once for every job that reaches a
+	// terminal non-completed state (dropped, shed, or timed out), on the
+	// engine goroutine, with the job's record. Callers tracking
+	// outstanding work (e.g. a cluster router) use it to keep their
+	// counts exact.
+	OnDropped func(rec *JobRecord)
 }
+
+// Dispatcher builds the executable kernel for an admitted job spec.
+type Dispatcher func(spec JobSpec) (kernels.Kernel, error)
 
 // jobState pairs a request's record with its (lazily built) kernel and
 // the deadline bookkeeping of its current admission attempt.
@@ -71,13 +87,17 @@ type jobState struct {
 	inQueue  bool
 }
 
-// server wires arrivals and admission to the engine: it is the sim.Source
-// of a serving run. All methods run on the engine goroutine.
-type server struct {
-	m   *machine.Desc
-	sp  *mem.Space
-	arr ArrivalProcess
-	adm Admission
+// Server wires arrivals and admission to the engine: it is the sim.Source
+// of a serving run. All methods run on the engine goroutine. Most callers
+// use Run; the cluster subsystem constructs Servers directly (one per
+// machine) via NewServer and drives them in lockstep.
+type Server struct {
+	m      *machine.Desc
+	sp     *mem.Space
+	arr    ArrivalProcess
+	adm    Admission
+	build  Dispatcher
+	onDrop func(rec *JobRecord)
 	// sb is set when the scheduler is space-bounded, for occupancy
 	// sampling.
 	sb *sched.SB
@@ -115,7 +135,7 @@ type release struct {
 }
 
 // peek pulls the next arrival from the process when none is buffered.
-func (s *server) peek() *Arrival {
+func (s *Server) peek() *Arrival {
 	if s.head == nil {
 		if a, ok := s.arr.Next(); ok {
 			s.head = &a
@@ -127,14 +147,14 @@ func (s *server) peek() *Arrival {
 // trimTimeouts discards stale timeout events at the head: a job that
 // dispatched (or was dropped) before its deadline leaves its timeout
 // event behind, and processing it would be a pointless engine wake-up.
-func (s *server) trimTimeouts() {
+func (s *Server) trimTimeouts() {
 	for len(s.timeouts) > 0 && !s.jobs[s.timeouts[0].tag].inQueue {
 		s.timeouts = s.timeouts[1:]
 	}
 }
 
 // Pending implements sim.Source.
-func (s *server) Pending() (int64, bool) {
+func (s *Server) Pending() (int64, bool) {
 	s.trimTimeouts()
 	t, ok := int64(0), false
 	if len(s.ready) > 0 {
@@ -156,7 +176,7 @@ func (s *server) Pending() (int64, bool) {
 // times the order is: wait-queue release (dispatch), deadline timeout,
 // retry re-submission, fresh arrival — releases first so a completion's
 // freed slot is taken before the deadline that raced it fires.
-func (s *server) Pop() (sim.Injection, bool) {
+func (s *Server) Pop() (sim.Injection, bool) {
 	s.trimTimeouts()
 	next := int64(1)<<62 - 1
 	if len(s.timeouts) > 0 {
@@ -195,12 +215,15 @@ func (s *server) Pop() (sim.Injection, bool) {
 
 // submit runs one admission attempt (fresh arrival or retry) for tag at
 // now: shed, dispatch, park with a deadline, or drop.
-func (s *server) submit(tag uint64, now int64) (sim.Injection, bool) {
+func (s *Server) submit(tag uint64, now int64) (sim.Injection, bool) {
 	st := &s.jobs[tag]
 	st.submit = now
 	if sh, ok := s.adm.(Shedder); ok && sh.ShedNow(now) {
 		st.rec.Dropped = true
 		st.rec.Shed = true
+		if s.onDrop != nil {
+			s.onDrop(&st.rec)
+		}
 		return sim.Injection{}, false
 	}
 	if s.adm.Admit(now, s.inFlight) {
@@ -216,13 +239,16 @@ func (s *server) submit(tag uint64, now int64) (sim.Injection, bool) {
 		return sim.Injection{}, false
 	}
 	st.rec.Dropped = true
+	if s.onDrop != nil {
+		s.onDrop(&st.rec)
+	}
 	return sim.Injection{}, false
 }
 
 // expire handles a deadline firing for a still-parked job: remove it from
 // the wait queue, then either schedule a backed-off retry or abandon it
 // as timed out.
-func (s *server) expire(tag uint64, now int64) {
+func (s *Server) expire(tag uint64, now int64) {
 	st := &s.jobs[tag]
 	if !st.inQueue {
 		return
@@ -248,14 +274,17 @@ func (s *server) expire(tag uint64, now int64) {
 		return
 	}
 	st.rec.TimedOut = true
+	if s.onDrop != nil {
+		s.onDrop(&st.rec)
+	}
 }
 
 // dispatch materializes the job's kernel in the shared address space and
 // hands its root to the engine.
-func (s *server) dispatch(tag uint64, now int64) sim.Injection {
+func (s *Server) dispatch(tag uint64, now int64) sim.Injection {
 	st := &s.jobs[tag]
 	st.rec.Admitted = now
-	k, err := core.NewKernel(st.rec.Spec.Kernel, s.sp, s.m, core.BenchOpts{N: st.rec.Spec.N, Seed: st.rec.Spec.Seed})
+	k, err := s.build(st.rec.Spec)
 	if err != nil {
 		// Mix/trace validation makes this unreachable; the engine's
 		// recover turns it into a run error rather than a crash.
@@ -268,7 +297,7 @@ func (s *server) dispatch(tag uint64, now int64) sim.Injection {
 // Done implements sim.Source: record the completion, notify the arrival
 // process (closed-loop feedback) and any latency-reactive admission, and
 // release parked jobs the policy now admits.
-func (s *server) Done(tag uint64, r sim.RootStats) {
+func (s *Server) Done(tag uint64, r sim.RootStats) {
 	st := &s.jobs[tag]
 	st.rec.Start = r.Start
 	st.rec.End = r.End
@@ -286,8 +315,8 @@ func (s *server) Done(tag uint64, r sim.RootStats) {
 	}
 }
 
-// sample records one time-series point; wired to sim.Config.Sampler.
-func (s *server) sample(now int64) {
+// Sample records one time-series point; wired to sim.Config.Sampler.
+func (s *Server) Sample(now int64) {
 	smp := Sample{Time: now, Queued: len(s.queue), InFlight: s.inFlight}
 	if s.sb != nil {
 		for id := 0; id < s.m.NodesAt(1); id++ {
@@ -297,39 +326,82 @@ func (s *server) sample(now int64) {
 	s.samples = append(s.samples, smp)
 }
 
-// Run executes one serving run to drain: all arrivals generated, admitted
-// jobs completed, outputs verified, metrics aggregated.
-func Run(cfg Config) (*Report, error) {
+// Space returns the server's address space, so callers supplying a
+// Dispatcher can pre-allocate shared datasets in it.
+func (s *Server) Space() *mem.Space { return s.sp }
+
+// QueueLen returns the current admission wait-queue depth.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// InFlight returns the number of admitted-but-unfinished jobs.
+func (s *Server) InFlight() int { return s.inFlight }
+
+// NewServer validates cfg, resolves its scheduler, and returns the
+// serving Source ready to drive via sim.RunStream plus the resolved
+// scheduler instance. Run wraps this for the single-machine case; the
+// cluster coordinator calls it once per machine.
+func NewServer(cfg Config) (*Server, sched.Scheduler, error) {
 	if cfg.Machine == nil {
-		return nil, fmt.Errorf("serve: Config requires a Machine")
+		return nil, nil, fmt.Errorf("serve: Config requires a Machine")
 	}
 	if cfg.Arrivals == nil {
-		return nil, fmt.Errorf("serve: Config requires an ArrivalProcess")
+		return nil, nil, fmt.Errorf("serve: Config requires an ArrivalProcess")
 	}
 	if cfg.Admission == nil {
 		cfg.Admission = AlwaysAdmit()
 	}
 	if cfg.Deadline < 0 || cfg.MaxRetries < 0 || cfg.RetryBackoff < 0 {
-		return nil, fmt.Errorf("serve: Deadline, MaxRetries and RetryBackoff must be non-negative")
+		return nil, nil, fmt.Errorf("serve: Deadline, MaxRetries and RetryBackoff must be non-negative")
 	}
 	if cfg.MaxRetries > 0 && cfg.Deadline == 0 {
-		return nil, fmt.Errorf("serve: MaxRetries requires a Deadline (nothing times out without one)")
+		return nil, nil, fmt.Errorf("serve: MaxRetries requires a Deadline (nothing times out without one)")
 	}
 	sc := sched.New(cfg.Scheduler)
 	if sc == nil {
-		return nil, fmt.Errorf("serve: unknown scheduler %q", cfg.Scheduler)
+		return nil, nil, fmt.Errorf("serve: unknown scheduler %q", cfg.Scheduler)
 	}
-	srv := &server{
+	srv := &Server{
 		m:          cfg.Machine,
 		sp:         core.SpaceFor(cfg.Machine, cfg.LinksUsed, cfg.PageSize),
 		arr:        cfg.Arrivals,
 		adm:        cfg.Admission,
+		build:      cfg.Dispatch,
+		onDrop:     cfg.OnDropped,
 		deadline:   cfg.Deadline,
 		maxRetries: cfg.MaxRetries,
 		backoff:    cfg.RetryBackoff,
 	}
+	if srv.build == nil {
+		srv.build = func(spec JobSpec) (kernels.Kernel, error) {
+			return core.NewKernel(spec.Kernel, srv.sp, srv.m, core.BenchOpts{N: spec.N, Seed: spec.Seed})
+		}
+	}
 	if sb, ok := sc.(*sched.SB); ok {
 		srv.sb = sb
+	}
+	return srv, sc, nil
+}
+
+// Verify checks every completed job's output; schedName labels errors.
+func (s *Server) Verify(schedName string) error {
+	for i := range s.jobs {
+		st := &s.jobs[i]
+		if st.k != nil && st.rec.Completed() {
+			if err := st.k.Verify(); err != nil {
+				return fmt.Errorf("serve: job %d (%s) produced wrong output under %s: %w",
+					st.rec.Tag, st.rec.Spec, schedName, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes one serving run to drain: all arrivals generated, admitted
+// jobs completed, outputs verified, metrics aggregated.
+func Run(cfg Config) (*Report, error) {
+	srv, sc, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
 	}
 	simCfg := sim.Config{
 		Machine:    cfg.Machine,
@@ -341,7 +413,7 @@ func Run(cfg Config) (*Report, error) {
 		Faults:     cfg.Faults,
 	}
 	if cfg.SampleEvery > 0 {
-		simCfg.Sampler = srv.sample
+		simCfg.Sampler = srv.Sample
 		simCfg.SampleEvery = cfg.SampleEvery
 	}
 	res, err := sim.RunStream(simCfg, srv)
@@ -349,21 +421,16 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	if !cfg.SkipVerify {
-		for i := range srv.jobs {
-			st := &srv.jobs[i]
-			if st.k != nil && st.rec.Completed() {
-				if err := st.k.Verify(); err != nil {
-					return nil, fmt.Errorf("serve: job %d (%s) produced wrong output under %s: %w",
-						st.rec.Tag, st.rec.Spec, sc.Name(), err)
-				}
-			}
+		if err := srv.Verify(sc.Name()); err != nil {
+			return nil, err
 		}
 	}
-	return srv.report(sc.Name(), res), nil
+	return srv.Report(sc.Name(), res), nil
 }
 
-// report aggregates the run into a Report.
-func (s *server) report(schedName string, res *sim.Result) *Report {
+// Report aggregates the run into a Report; res is the engine Result of
+// the run that drove this server.
+func (s *Server) Report(schedName string, res *sim.Result) *Report {
 	r := &Report{
 		Scheduler:   schedName,
 		Workload:    s.arr.Name(),

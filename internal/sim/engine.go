@@ -195,6 +195,10 @@ type engine struct {
 	flt       *faultState
 	nextFault int64
 
+	// dynFlushes counts dynamic (injected) cache flushes, surfaced in
+	// Result.FaultEvents alongside compiled-plan events.
+	dynFlushes int
+
 	// rec receives program-level record events (StrandAccess/StrandWork/
 	// StrandForked) when cfg.Listener also implements TraceListener; nil
 	// otherwise, so the per-access hot-path cost is a single nil check.
@@ -209,6 +213,11 @@ type engine struct {
 	pool       bool
 	strandPool []*job.Strand
 	taskPool   []*job.Task
+	// pairPool recycles parallel-for fork contexts (job.ForPair). Pairs
+	// are reclaimed at the splitting task's end — both children live
+	// inside the pair and have completed by then — under the same
+	// listener-safety rule as task/strand pooling.
+	pairPool []*job.ForPair
 
 	err error
 }
@@ -386,6 +395,24 @@ func (e *engine) freeStrand(s *job.Strand) {
 	e.strandPool = append(e.strandPool, s)
 }
 
+// allocForPair implements job.ForPairAllocator for wctx: parallel-for
+// splits draw fork contexts from the engine pool instead of the heap.
+func (e *engine) allocForPair() *job.ForPair {
+	if n := len(e.pairPool); n > 0 {
+		p := e.pairPool[n-1]
+		e.pairPool[n-1] = nil
+		e.pairPool = e.pairPool[:n-1]
+		return p
+	}
+	return new(job.ForPair)
+}
+
+// freeForPair recycles a surrendered fork pair (see freeTask on zeroing).
+func (e *engine) freeForPair(p *job.ForPair) {
+	*p = job.ForPair{}
+	e.pairPool = append(e.pairPool, p)
+}
+
 func (e *engine) newStrand(t *job.Task, j job.Job, kind job.Kind, now int64) *job.Strand {
 	e.nextStrandID++
 	e.totalStrands++
@@ -510,6 +537,16 @@ func (e *engine) maybeFinish(t *job.Task, w *worker) {
 			l.TaskEnded(t, w.clock)
 		}
 		e.callTaskEnd(t, w)
+		if e.pool {
+			// A parallel-for task that split owns the ForPair holding its two
+			// (now completed) children; reclaim it under the same
+			// listener-safety rule as task/strand pooling.
+			if pr, ok := t.Job.(job.PairRecycler); ok {
+				if p := pr.TakeChildPair(); p != nil {
+					e.freeForPair(p)
+				}
+			}
+		}
 		if t.Handle != nil {
 			for _, waiter := range t.Handle.Complete() {
 				waiter.BlockPending--
@@ -560,7 +597,15 @@ type rootRec struct {
 // inject spawns one injected root task on behalf of w (the earliest
 // worker, taking the dispatch interrupt). The scheduler's Add cost is
 // charged to w under the add bucket, exactly like a fork-spawned strand.
+// An injection may instead (or additionally) carry a dynamic cache
+// flush; flush-only injections touch no scheduler state.
 func (e *engine) inject(inj Injection, w *worker) {
+	if inj.Flush != nil {
+		e.applyFlush(inj.Flush)
+	}
+	if inj.Job == nil {
+		return
+	}
 	t := e.newTask(nil, inj.Job)
 	e.liveRoots++
 	// A root strand has no spawning strand: it enters from outside the
@@ -574,6 +619,25 @@ func (e *engine) inject(inj Injection, w *worker) {
 	}
 	e.roots[t] = rootRec{tag: inj.Tag, enq: w.clock, strand: s}
 	e.spawn(s, w)
+}
+
+// applyFlush invalidates the caches named by an injected flush: one cache,
+// one whole level (Node < 0), or every cache level (Level < 0).
+func (e *engine) applyFlush(f *fault.Flush) {
+	lo, hi := f.Level, f.Level
+	if f.Level < 0 {
+		lo, hi = 1, e.m.CacheLevels()
+	}
+	for lvl := lo; lvl <= hi; lvl++ {
+		if f.Node < 0 {
+			for _, c := range e.h.Caches(lvl) {
+				c.Invalidate()
+			}
+		} else {
+			e.h.Caches(lvl)[f.Node].Invalidate()
+		}
+	}
+	e.dynFlushes++
 }
 
 // fastForward advances every (idle) worker's clock to t, accounted as
@@ -815,5 +879,6 @@ func (e *engine) collect() *Result {
 		r.FaultEvents = f.eventsFired
 		r.OfflineCycles = f.offlineCycles
 	}
+	r.FaultEvents += e.dynFlushes
 	return r
 }

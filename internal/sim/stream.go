@@ -1,6 +1,9 @@
 package sim
 
-import "repro/internal/job"
+import (
+	"repro/internal/fault"
+	"repro/internal/job"
+)
 
 // This file is the online half of the engine: a simulation that accepts
 // root jobs *while it runs*. A Source feeds Injections — root tasks with
@@ -14,8 +17,17 @@ type Injection struct {
 	// Tag is the caller's correlation id, echoed back in Source.Done.
 	Tag uint64
 	// Job is the root job to spawn. Multiple injected roots coexist: their
-	// tasks compete for the same caches under the same scheduler.
+	// tasks compete for the same caches under the same scheduler. Job may
+	// be nil when the injection carries only a Flush.
 	Job job.Job
+	// Flush, if non-nil, invalidates the named caches at injection time —
+	// before Job (if any) spawns. Unlike a fault.Plan flush, whose times
+	// are compiled at engine construction, an injected flush fires at a
+	// time the source chose while the run was already underway; the
+	// cluster autoscaler uses it to model the cold caches of a machine
+	// re-entering service. Flush.Time is ignored (the injection's own
+	// timing governs); Level < 0 flushes every cache level.
+	Flush *fault.Flush
 }
 
 // RootStats reports the lifecycle timestamps (simulated cycles) of one

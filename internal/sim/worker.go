@@ -267,6 +267,12 @@ func (c *wctx) terminal() {
 	}
 }
 
+// AllocForPair implements job.ForPairAllocator: parallel-for fork
+// contexts come from the engine's pair pool. Safe off the engine
+// goroutine for the usual baton-pass reason — the engine is parked while
+// strand code runs.
+func (c *wctx) AllocForPair() *job.ForPair { return c.e.allocForPair() }
+
 // Worker implements job.Ctx.
 func (c *wctx) Worker() int { return c.w.id }
 

@@ -59,7 +59,7 @@ func TestFacadeConstructors(t *testing.T) {
 	if schedsim.NewSB(0.7, 0.2).Name() != "SB" || schedsim.NewSBD(0.5, 0.2).Name() != "SB-D" {
 		t.Error("SB constructors wrong")
 	}
-	if len(schedsim.Benchmarks()) != 7 {
+	if len(schedsim.Benchmarks()) != 8 {
 		t.Errorf("Benchmarks = %v", schedsim.Benchmarks())
 	}
 	if len(schedsim.SchedulerNames()) != 6 {
