@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-vettool bench bench-replay cluster fuzz check
+.PHONY: all build test race lint lint-vettool bench bench-compare bench-replay cluster fullscale-smoke fuzz check
 
 all: build test lint
 
@@ -30,6 +30,17 @@ lint-vettool:
 bench:
 	$(GO) run ./cmd/schedbench -benchjson BENCH_sim.json
 
+# bench-compare diffs two benchmark reports and fails on any figure that
+# regressed by more than 10% (see cmd/benchdiff for the direction rules).
+# Default: the committed BENCH_sim.json against a freshly measured one.
+# Override either side: make bench-compare BENCH_OLD=a.json BENCH_NEW=b.json
+BENCH_OLD ?= BENCH_sim.json
+BENCH_NEW ?= bin/BENCH_new.json
+bench-compare:
+	@mkdir -p bin
+	@if [ ! -f "$(BENCH_NEW)" ]; then $(GO) run ./cmd/schedbench -benchjson $(BENCH_NEW); fi
+	$(GO) run ./cmd/benchdiff $(BENCH_OLD) $(BENCH_NEW)
+
 # bench-replay gates the record/replay subsystem: the live-vs-replay
 # equivalence suite must actually run and pass (the grep rejects a log
 # where it was skipped or filtered away), and a quick Fig. 8 grid must
@@ -48,13 +59,28 @@ cluster:
 	$(GO) test -race -count=2 -run 'TestCluster|TestAffinityLocality|TestGoldenCluster' ./internal/cluster/ ./internal/exp/
 	$(GO) run ./cmd/schedbench -profile quick -experiment cluster
 
-# fuzz smoke-runs the opcode codec fuzz targets for a few seconds each
-# (go test accepts exactly one -fuzz pattern per invocation, hence three
-# runs). Corpus additions land under internal/opcode/testdata/fuzz/.
+# fullscale-smoke proves shard-count invariance through the CLI exactly
+# the way the CI job does: one ×4-scale grid cell streamed and sharded at
+# -shards 1 and -shards 2 must print identical fingerprint= lines.
+fullscale-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/schedbench -experiment cell -profile x4 -kernel RRM -sched sb -shards 1 > bin/cell_s1.log
+	$(GO) run ./cmd/schedbench -experiment cell -profile x4 -kernel RRM -sched sb -shards 2 > bin/cell_s2.log
+	@f1=`grep -o 'fingerprint=[0-9a-f]*' bin/cell_s1.log`; \
+	f2=`grep -o 'fingerprint=[0-9a-f]*' bin/cell_s2.log`; \
+	echo "shards=1: $$f1"; echo "shards=2: $$f2"; \
+	test -n "$$f1" && test "$$f1" = "$$f2" \
+		&& echo "fullscale-smoke: fingerprints identical across shard counts"
+
+# fuzz smoke-runs the codec fuzz targets for a few seconds each (go test
+# accepts exactly one -fuzz pattern per invocation, hence one run per
+# target): the opcode varint codecs plus the framed-trace stream decoder.
+# Corpus additions land under <pkg>/testdata/fuzz/.
 fuzz:
 	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzUvarintRoundTrip$$' -fuzztime 5s
 	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzUvarintDecode$$' -fuzztime 5s
 	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzZigzagRoundTrip$$' -fuzztime 5s
+	$(GO) test ./internal/dagtrace/ -run '^$$' -fuzz '^FuzzFramedDecode$$' -fuzztime 5s
 
 # check is the full pre-push gate: everything CI enforces that can run
 # offline (staticcheck and govulncheck need their pinned tools installed;

@@ -1,0 +1,169 @@
+// Command benchdiff compares two BENCH_sim.json reports (see
+// internal/exp/bench.go and `schedbench -benchjson`) and fails when the
+// newer one regressed.
+//
+// Usage:
+//
+//	benchdiff [-threshold 10] old.json new.json
+//
+// For every benchmark present in both reports it compares ns/op,
+// allocs/op and each derived metric, prints a delta table, and exits 1
+// if any figure moved in the losing direction by more than the threshold
+// (percent). A benchmark present in old but missing from new is also a
+// failure — dropping a measurement silently is how perf coverage rots.
+// Benchmarks only present in new are reported and accepted (that is what
+// a freshly added measurement looks like). Exit codes: 0 ok, 1
+// regressions, 2 usage or input errors.
+//
+// Which direction loses is inferred from the metric name: throughput
+// metrics (suffix "/s", "-rate") regress downward, everything else —
+// ns/op, allocs/op, bytes/op, "ns/..." latencies, "...-s" wall clocks,
+// "...-b" byte high-water marks — regresses upward.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "failure threshold, percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if diff(oldRep, newRep, *threshold) {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*exp.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep exp.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
+}
+
+// higherIsBetter classifies a metric by name; see the package comment.
+func higherIsBetter(name string) bool {
+	return strings.HasSuffix(name, "/s") || strings.HasSuffix(name, "-rate")
+}
+
+// diff prints the comparison table and returns true if anything regressed
+// beyond threshold percent.
+func diff(oldRep, newRep *exp.BenchReport, threshold float64) bool {
+	oldBy := byName(oldRep)
+	newBy := byName(newRep)
+	regressions := 0
+	fmt.Printf("%-24s %-22s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, ob := range oldRep.Benchmarks {
+		nb, ok := newBy[ob.Name]
+		if !ok {
+			fmt.Printf("%-24s %-22s %14s %14s %9s  REGRESSION (dropped)\n", ob.Name, "-", "-", "-", "-")
+			regressions++
+			continue
+		}
+		for _, row := range rows(ob, nb) {
+			mark := ""
+			if row.regressed(threshold) {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-24s %-22s %14.4g %14.4g %+8.1f%%%s\n",
+				ob.Name, row.metric, row.old, row.new, row.pct(), mark)
+		}
+	}
+	for _, nb := range newRep.Benchmarks {
+		if _, ok := oldBy[nb.Name]; !ok {
+			fmt.Printf("%-24s %-22s %14s %14.4g %9s  (new)\n", nb.Name, "ns/op", "-", float64(nb.NsPerOp), "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("FAIL: %d figure(s) regressed by more than %.0f%%\n", regressions, threshold)
+		return true
+	}
+	fmt.Printf("ok: no regression above %.0f%%\n", threshold)
+	return false
+}
+
+type row struct {
+	metric   string
+	old, new float64
+	higher   bool // higher is better
+}
+
+// pct is the signed relative change, positive when new > old.
+func (r row) pct() float64 {
+	if r.old == 0 {
+		if r.new == 0 {
+			return 0
+		}
+		return 999
+	}
+	return (r.new - r.old) / r.old * 100
+}
+
+func (r row) regressed(threshold float64) bool {
+	p := r.pct()
+	if r.higher {
+		return p < -threshold
+	}
+	return p > threshold
+}
+
+// rows pairs up the comparable figures of one benchmark, in stable order.
+func rows(ob, nb exp.BenchEntry) []row {
+	out := []row{
+		{"ns/op", float64(ob.NsPerOp), float64(nb.NsPerOp), false},
+		{"allocs/op", float64(ob.AllocsPerOp), float64(nb.AllocsPerOp), false},
+		{"bytes/op", float64(ob.BytesPerOp), float64(nb.BytesPerOp), false},
+	}
+	keys := make([]string, 0, len(ob.Metrics))
+	for k := range ob.Metrics {
+		if _, ok := nb.Metrics[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, row{k, ob.Metrics[k], nb.Metrics[k], higherIsBetter(k)})
+	}
+	return out
+}
+
+func byName(rep *exp.BenchReport) map[string]exp.BenchEntry {
+	m := make(map[string]exp.BenchEntry, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}

@@ -9,7 +9,12 @@
 //	schedbench -experiment machine             # print the Fig. 4 machine
 //
 // Experiments: machine, fig5, fig6, fig7, fig8, fig9, fig10, validate,
-// model, resilience, all.
+// model, resilience, cell, all.
+//
+// The cell experiment runs one full-scale grid cell through the streamed
+// record/partition/sharded-replay pipeline:
+//
+//	schedbench -experiment cell -profile x1 -kernel RRM -sched sb -shards 4
 package main
 
 import (
@@ -38,6 +43,10 @@ func main() {
 		traceDir   = flag.String("tracecache", "", "spill recorded DAG traces to this directory and reload them across runs (empty = in-memory cache only)")
 		minHit     = flag.Float64("mintracehit", -1, "exit 1 if the trace-cache hit rate ends below this percentage (negative = no check)")
 		noTrace    = flag.Bool("notrace", false, "disable record/replay: execute every grid cell live")
+		kernel     = flag.String("kernel", "Quicksort", "cell experiment: kernel name (RRM|RRG|Quicksort|Samplesort|AwareSamplesort|Quad-Tree|MatMul)")
+		schedName  = flag.String("sched", "sb", "cell experiment: scheduler name")
+		shards     = flag.Int("shards", 1, "cell experiment: host goroutines for the sharded replay (never changes results)")
+		window     = flag.Int64("replaywindow", 0, "cell experiment: streamed-replay frame window in bytes (0 = default 16MB)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -70,6 +79,20 @@ func main() {
 	}
 	if *reps < 0 {
 		fatalUsage("-reps must be >= 0, got %d", *reps)
+	}
+	if *shards < 1 {
+		fatalUsage("-shards must be >= 1, got %d", *shards)
+	}
+	if *window < 0 {
+		fatalUsage("-replaywindow must be >= 0, got %d", *window)
+	}
+	if *experiment != "cell" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "kernel", "sched", "shards", "replaywindow":
+				fatalUsage("-%s applies only to -experiment cell", f.Name)
+			}
+		})
 	}
 
 	if *cpuProf != "" {
@@ -119,8 +142,12 @@ func main() {
 		p = exp.Paper()
 	case "quick":
 		p = exp.Quick()
+	case "x1", "x2", "x4", "x8", "x16", "x32", "x64":
+		var div int64
+		fmt.Sscanf(*profile, "x%d", &div)
+		p = exp.FullScale(div)
 	default:
-		fmt.Fprintf(os.Stderr, "schedbench: unknown profile %q\n", *profile)
+		fmt.Fprintf(os.Stderr, "schedbench: unknown profile %q (have paper, quick, x1..x64)\n", *profile)
 		os.Exit(2)
 	}
 	if *reps > 0 {
@@ -132,6 +159,8 @@ func main() {
 
 	r := exp.NewRunner(p, os.Stdout)
 	r.Verbose = *verbose
+	r.Shards = *shards
+	r.ReplayWindow = *window
 	switch {
 	case *noTrace:
 		r.Traces = nil
@@ -206,6 +235,14 @@ func main() {
 			}
 			return exp.WriteResilienceCSV(fmt.Sprintf("%s/resilience.csv", *csvDir), points)
 		},
+		"cell": func() error {
+			rep, err := r.FullCell(*kernel, *schedName)
+			if err != nil {
+				return err
+			}
+			rep.Print(os.Stdout)
+			return nil
+		},
 		"cluster": func() error {
 			points, err := r.Cluster()
 			if err != nil || *csvDir == "" {
@@ -217,6 +254,8 @@ func main() {
 			return exp.WriteClusterCSV(fmt.Sprintf("%s/cluster.csv", *csvDir), p.MachineHT(), points)
 		},
 	}
+	// "cell" is deliberately absent from the -experiment all order: at the
+	// x1 scales it exists for, it is run one cell at a time.
 	order := []string{"machine", "validate", "model", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "resilience", "cluster"}
 
 	switch *experiment {
@@ -227,7 +266,7 @@ func main() {
 	default:
 		f, ok := experiments[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "schedbench: unknown experiment %q (have %s, all)\n",
+			fmt.Fprintf(os.Stderr, "schedbench: unknown experiment %q (have %s, cell, all)\n",
 				*experiment, strings.Join(order, ", "))
 			os.Exit(2)
 		}

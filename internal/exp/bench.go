@@ -10,6 +10,7 @@ package exp
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -203,6 +205,116 @@ func BenchReplayFig8(b *testing.B) {
 	}
 }
 
+// benchStream records the quick-profile quicksort once, frames it to a
+// temp file, and opens it through a window of the given byte budget. The
+// file and stream are cleaned up with the benchmark. Recording runs under
+// sb — the scheduler the replay benchmarks use — so the op stream's frame
+// order matches the replay's access order, as it does in the FullCell
+// pipeline (a replay whose schedule diverges from the recording order
+// still works, but re-fetches frames instead of streaming them).
+func benchStream(b *testing.B, window int64) (*dagtrace.Trace, *dagtrace.StreamTrace) {
+	b.Helper()
+	p := Quick()
+	m := p.MachineHT()
+	sp := mem.NewSpacePaged(m.Links, m.Links, p.PageSize())
+	k := p.QuicksortFactory()(sp, m, p.Seed)
+	rec := dagtrace.NewRecorder()
+	if _, err := sim.Run(sim.Config{
+		Machine: m, Space: sp, Scheduler: sched.New("sb"), Seed: p.Seed, Listener: rec,
+	}, k.Root()); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := rec.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.dgts")
+	if err := dagtrace.WriteFramed(tr, path, 0); err != nil {
+		b.Fatal(err)
+	}
+	st, err := dagtrace.OpenStream(path, window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return tr, st
+}
+
+// BenchWindowedDecode measures the streamed replay path: a framed
+// quick-profile quicksort trace replayed on the full machine through a
+// window an order of magnitude smaller than its op stream. The headline
+// metric is decoded op-stream bytes per second; the decoder's resident
+// high-water mark is reported so eviction-policy regressions are visible.
+// It replays under the sb scheduler — same as the FullCell pipeline and
+// BenchShardedReplay, so the two replay-wall figures are comparable.
+func BenchWindowedDecode(b *testing.B) {
+	p := Quick()
+	m := p.MachineHT()
+	_, st := benchStream(b, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rsp := mem.NewSpacePaged(m.Links, m.Links, p.PageSize())
+		res, err := sim.Run(sim.Config{
+			Machine: m, Space: rsp, Scheduler: sched.New("sb"), Seed: p.Seed,
+		}, st.Root())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.CheckResult(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.OpBytes())*float64(b.N)/b.Elapsed().Seconds(), "opbytes/s")
+	b.ReportMetric(float64(st.PeakResidentBytes()), "peak-resident-b")
+}
+
+// BenchShardedReplay measures the sharded replay engine over the same
+// framed recording: the trace partitioned two pieces per socket, pieces
+// leasing scripts from one shared window, per-socket sub-simulations
+// fanned over GOMAXPROCS host goroutines and merged deterministically.
+// Its replay-wall-s against BenchWindowedDecode's wall time is the
+// sharded-vs-unsharded speedup on this host. Replays use the sb
+// scheduler: work stealing's random idle polling is pathologically
+// expensive to simulate on low-parallelism partition pieces, and sb is
+// the scheduler the full-scale pipeline defaults to anyway.
+func BenchShardedReplay(b *testing.B) {
+	p := Quick()
+	m := p.MachineHT()
+	tr, st := benchStream(b, 1<<20)
+	part, err := dagtrace.PartitionStream(st, 2*m.Levels[0].Fanout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	roots := make([]shard.Root, len(part.Pieces))
+	for i, pc := range part.Pieces {
+		roots[i] = shard.Root{Job: pc.Root, Weight: pc.Weight}
+	}
+	cfg := shard.Config{
+		Machine:   m,
+		MakeSched: func() sched.Scheduler { return sched.New("sb") },
+		Seed:      p.Seed,
+		Shards:    runtime.GOMAXPROCS(0),
+		PageSize:  p.PageSize(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var accesses uint64
+	for i := 0; i < b.N; i++ {
+		res, err := shard.Replay(cfg, roots)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Tasks != tr.TaskCount || res.Strands != tr.StrandCount {
+			b.Fatalf("sharded replay executed %d tasks / %d strands, trace recorded %d / %d",
+				res.Tasks, res.Strands, tr.TaskCount, tr.StrandCount)
+		}
+		accesses += uint64(res.Accesses)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "replay-wall-s")
+	b.ReportMetric(float64(accesses)/b.Elapsed().Seconds(), "accesses/s")
+}
+
 type nullWriter struct{}
 
 func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
@@ -219,6 +331,8 @@ var benchSuite = []struct {
 	{"grid_fig8_quick", BenchGridFig8},
 	{"trace_record", BenchTraceRecord},
 	{"replay_fig8", BenchReplayFig8},
+	{"windowed_decode", BenchWindowedDecode},
+	{"sharded_replay", BenchShardedReplay},
 }
 
 // RunBenchSuite executes the harness and collects a BenchReport.

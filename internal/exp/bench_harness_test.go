@@ -13,3 +13,6 @@ func BenchmarkHarnessEngine(b *testing.B)       { BenchEngineParallelFor(b) }
 func BenchmarkHarnessGridFig8(b *testing.B)     { BenchGridFig8(b) }
 func BenchmarkHarnessTraceRecord(b *testing.B)  { BenchTraceRecord(b) }
 func BenchmarkHarnessReplayFig8(b *testing.B)   { BenchReplayFig8(b) }
+
+func BenchmarkHarnessWindowedDecode(b *testing.B) { BenchWindowedDecode(b) }
+func BenchmarkHarnessShardedReplay(b *testing.B)  { BenchShardedReplay(b) }

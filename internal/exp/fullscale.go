@@ -1,0 +1,248 @@
+package exp
+
+// Full-scale grid cells: record once, frame to disk, then replay through
+// the bounded window — unsharded on the full machine and sharded across
+// per-socket simulations — so one Fig. 8 cell at the paper's real input
+// sizes (×1: 24MB L3, 100M-element-class inputs) completes in minutes
+// with decoder memory independent of the trace size.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/dagtrace"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// FullScale returns the experiment profile at cache divisor div: div=64
+// is exactly Paper(), div=1 is the real Xeon 7560 (24MB L3) with the
+// paper's real input sizes (RRM touches 16n ≈ 164MB, as in §5.3). Linear
+// quantities (element counts, cutoffs, grains) scale by 64/div so every
+// input-to-cache ratio matches Paper(); the matmul side scales by
+// √(64/div) because its footprint is quadratic in N. Reps drops to 1 —
+// full-scale cells are minutes each, and the streamed replay is
+// deterministic anyway.
+func FullScale(div int64) Profile {
+	if div < 1 || div > 64 || 64%div != 0 {
+		panic(fmt.Sprintf("exp: full-scale divisor %d must divide 64", div))
+	}
+	f := 64 / div
+	sq := int64(1)
+	for sq*sq < f {
+		sq++
+	}
+	p := Paper()
+	p.Name = fmt.Sprintf("x%d", div)
+	p.MachineScale = div
+	p.Reps = 1
+	scale := func(v *int) { *v = int(int64(*v) * f) }
+	scale(&p.RRMN)
+	scale(&p.RRGN)
+	scale(&p.RRBase)
+	scale(&p.RRGrain)
+	scale(&p.SortN)
+	scale(&p.SerialCutoff)
+	scale(&p.PartCutoff)
+	scale(&p.Chunk)
+	scale(&p.QuadN)
+	scale(&p.QuadCutoff)
+	p.MatmulN = int(int64(p.MatmulN) * sq)
+	p.MatmulBase = int(int64(p.MatmulBase) * sq)
+	return p
+}
+
+// FullKernelFactory resolves a kernel name (the Fig. 8 lineup plus RRM
+// and RRG) to its factory at the profile's scale.
+func (p Profile) FullKernelFactory(name string) (KernelFactory, error) {
+	switch name {
+	case "RRM":
+		return p.RRMFactory(), nil
+	case "RRG":
+		return p.RRGFactory(), nil
+	case "Quicksort":
+		return p.QuicksortFactory(), nil
+	case "Samplesort":
+		return p.SamplesortFactory(), nil
+	case "AwareSamplesort":
+		return p.AwareSamplesortFactory(), nil
+	case "Quad-Tree":
+		return p.QuadtreeFactory(), nil
+	case "MatMul":
+		return p.MatMulFactory(), nil
+	}
+	return nil, fmt.Errorf("exp: unknown kernel %q (want RRM, RRG, Quicksort, Samplesort, AwareSamplesort, Quad-Tree or MatMul)", name)
+}
+
+// FullCellReport is the outcome of one full-scale cell.
+type FullCellReport struct {
+	Kernel    string
+	Scheduler string
+	Machine   string
+	Shards    int
+	Window    int64
+
+	// Trace shape.
+	Tasks, Strands uint64
+	OpBytes        int64 // op-stream bytes (the part the window bounds)
+	TraceBytes     int64 // framed file size on disk
+
+	// Host wall-clock of each pipeline stage, in seconds.
+	RecordSec   float64 // live run + recording
+	WriteSec    float64 // framing to disk
+	ReplaySec   float64 // unsharded streamed replay, full machine
+	ShardedSec  float64 // sharded streamed replay (Shards goroutines)
+	PeakSysMB   float64 // runtime.MemStats.Sys after the replays
+	PeakWindowB int64   // decoder-resident high-water mark (window + leases)
+
+	// Simulated results.
+	ReplayWall  int64  // unsharded makespan, cycles
+	ShardedWall int64  // sharded makespan (max over sockets), cycles
+	Fingerprint string // sharded merge fingerprint (shard-count invariant)
+}
+
+// FullCell runs one full-scale grid cell end to end: record the kernel
+// live on the profile's machine, frame the trace to disk, reopen it
+// through a window of r.ReplayWindow bytes, replay it unsharded on the
+// full machine, then partition it and replay it sharded over the
+// machine's sockets on r.Shards host goroutines. The sharded fingerprint
+// it reports is invariant under r.Shards; the driver's fullscale-smoke CI
+// job pins that by diffing two runs.
+func (r *Runner) FullCell(kernel, schedName string) (*FullCellReport, error) {
+	mk, err := r.P.FullKernelFactory(kernel)
+	if err != nil {
+		return nil, err
+	}
+	if sched.New(schedName) == nil {
+		return nil, fmt.Errorf("exp: unknown scheduler %q (want one of %v)", schedName, sched.Names())
+	}
+	m := r.P.MachineHT()
+	seed := r.P.Seed
+	rep := &FullCellReport{
+		Kernel: kernel, Scheduler: schedName, Machine: m.Name,
+		Shards: r.Shards, Window: r.ReplayWindow,
+	}
+
+	//schedlint:ignore nondeterminism host-side stage timing for the report; simulated results never read it
+	t0 := time.Now()
+	sp := mem.NewSpacePaged(m.Links, m.Links, r.P.PageSize())
+	k := mk(sp, m, seed)
+	rec := dagtrace.NewRecorder()
+	if _, err := sim.Run(sim.Config{
+		Machine: m, Space: sp, Scheduler: sched.New(schedName), Seed: seed, Listener: rec,
+	}, k.Root()); err != nil {
+		return nil, fmt.Errorf("exp: full-scale record: %w", err)
+	}
+	if err := k.Verify(); err != nil {
+		return nil, fmt.Errorf("exp: full-scale record: output verification failed: %w", err)
+	}
+	tr, err := rec.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("exp: full-scale record: %w", err)
+	}
+	//schedlint:ignore nondeterminism host-side stage timing for the report
+	rep.RecordSec = time.Since(t0).Seconds()
+	rep.Tasks, rep.Strands = tr.TaskCount, tr.StrandCount
+	rep.OpBytes = tr.OpBytes()
+
+	dir, err := os.MkdirTemp("", "fullscale-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "cell.dgts")
+	//schedlint:ignore nondeterminism host-side stage timing for the report
+	t0 = time.Now()
+	if err := dagtrace.WriteFramed(tr, path, 0); err != nil {
+		return nil, fmt.Errorf("exp: full-scale frame: %w", err)
+	}
+	//schedlint:ignore nondeterminism host-side stage timing for the report
+	rep.WriteSec = time.Since(t0).Seconds()
+	if fi, err := os.Stat(path); err == nil {
+		rep.TraceBytes = fi.Size()
+	}
+	// Release the arena, the kernel and its address space before replaying:
+	// from here on, op bytes live only behind the window.
+	tr, rec, k, sp = nil, nil, nil, nil
+	runtime.GC()
+
+	st, err := dagtrace.OpenStream(path, r.ReplayWindow)
+	if err != nil {
+		return nil, fmt.Errorf("exp: full-scale open: %w", err)
+	}
+	defer st.Close()
+
+	//schedlint:ignore nondeterminism host-side stage timing for the report
+	t0 = time.Now()
+	rsp := mem.NewSpacePaged(m.Links, m.Links, r.P.PageSize())
+	res, err := sim.Run(sim.Config{
+		Machine: m, Space: rsp, Scheduler: sched.New(schedName), Seed: seed,
+	}, st.Root())
+	if err != nil {
+		return nil, fmt.Errorf("exp: full-scale replay: %w", err)
+	}
+	if err := st.CheckResult(res); err != nil {
+		return nil, fmt.Errorf("exp: full-scale replay: %w", err)
+	}
+	//schedlint:ignore nondeterminism host-side stage timing for the report
+	rep.ReplaySec = time.Since(t0).Seconds()
+	rep.ReplayWall = res.WallCycles
+
+	sockets := m.Levels[0].Fanout
+	part, err := dagtrace.PartitionStream(st, 2*sockets)
+	if err != nil {
+		return nil, fmt.Errorf("exp: full-scale partition: %w", err)
+	}
+	roots := make([]shard.Root, len(part.Pieces))
+	for i, pc := range part.Pieces {
+		roots[i] = shard.Root{Job: pc.Root, Weight: pc.Weight}
+	}
+	//schedlint:ignore nondeterminism host-side stage timing for the report
+	t0 = time.Now()
+	sres, err := shard.Replay(shard.Config{
+		Machine:   m,
+		MakeSched: func() sched.Scheduler { return sched.New(schedName) },
+		Seed:      seed,
+		Shards:    r.Shards,
+		PageSize:  r.P.PageSize(),
+	}, roots)
+	if err != nil {
+		return nil, fmt.Errorf("exp: full-scale sharded replay: %w", err)
+	}
+	//schedlint:ignore nondeterminism host-side stage timing for the report
+	rep.ShardedSec = time.Since(t0).Seconds()
+	if sres.Tasks != rep.Tasks || sres.Strands != rep.Strands {
+		return nil, fmt.Errorf("exp: sharded replay executed %d tasks / %d strands, trace recorded %d / %d",
+			sres.Tasks, sres.Strands, rep.Tasks, rep.Strands)
+	}
+	rep.ShardedWall = sres.WallCycles
+	rep.Fingerprint = sres.Fingerprint()
+	rep.PeakWindowB = st.PeakResidentBytes()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.PeakSysMB = float64(ms.Sys) / (1 << 20)
+	return rep, nil
+}
+
+// Print renders the report as the stable key=value lines the CI smoke job
+// greps (fingerprint= in particular). The trace:, sim: and fingerprint=
+// lines are deterministic; host: and memory: report host-side
+// observations (stage wall-clock, decoder/runtime memory high-water
+// marks) that vary with machine load and goroutine interleaving.
+func (rep *FullCellReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "fullscale cell %s/%s on %s\n", rep.Kernel, rep.Scheduler, rep.Machine)
+	fmt.Fprintf(w, "  trace: tasks=%d strands=%d opbytes=%d filebytes=%d\n",
+		rep.Tasks, rep.Strands, rep.OpBytes, rep.TraceBytes)
+	fmt.Fprintf(w, "  host: record=%.2fs write=%.2fs replay=%.2fs sharded=%.2fs (shards=%d)\n",
+		rep.RecordSec, rep.WriteSec, rep.ReplaySec, rep.ShardedSec, rep.Shards)
+	fmt.Fprintf(w, "  memory: window=%d peak_window_bytes=%d runtime_sys=%.1fMB\n",
+		rep.Window, rep.PeakWindowB, rep.PeakSysMB)
+	fmt.Fprintf(w, "  sim: replay_wall=%d sharded_wall=%d\n", rep.ReplayWall, rep.ShardedWall)
+	fmt.Fprintf(w, "  fingerprint=%s\n", rep.Fingerprint)
+}

@@ -74,6 +74,13 @@ type Runner struct {
 	// KeepTraces retains traces in memory after their last grid cell
 	// finishes (default: evict per group to bound grid memory).
 	KeepTraces bool
+	// Shards is the host-goroutine count for sharded full-scale replays
+	// (FullCell); it never changes results, only how many cores the fixed
+	// per-socket simulations are spread over. <1 means 1.
+	Shards int
+	// ReplayWindow bounds the decoder-resident bytes of streamed replays
+	// (FullCell); 0 means dagtrace.DefaultWindowBytes.
+	ReplayWindow int64
 }
 
 // NewRunner returns a Runner writing tables to out, with an in-memory

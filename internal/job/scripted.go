@@ -17,6 +17,22 @@ type Scripted interface {
 	Script() (ops []byte, lo, hi int64)
 	// ScriptFork returns the strand's terminal fork: the continuation (nil
 	// when the parallel block has none) and the child jobs. An empty child
-	// list means the strand ends without forking; cont must be nil then.
+	// list with a nil cont means the strand ends without forking; an empty
+	// child list with a non-nil cont is a degenerate fork whose
+	// continuation becomes runnable immediately (partitioned replays use
+	// it for spine strands whose children were split off).
 	ScriptFork() (cont Job, children []Job)
+}
+
+// StreamScripted is a Scripted whose Script bytes are leased from a
+// bounded decode window rather than borrowed from a resident arena: the
+// runtime must hand the returned buffer back through ReleaseScript once
+// the strand has fully executed, so the window can recycle it. Script may
+// be called again after a release (it fetches a fresh lease); the two
+// calls return byte-identical op streams.
+type StreamScripted interface {
+	Scripted
+	// ReleaseScript returns the buffer obtained from Script. Passing a
+	// slice not obtained from Script on the same job is a bug.
+	ReleaseScript(ops []byte)
 }

@@ -15,8 +15,9 @@
 //     //schedlint:ignore allowlist directives.
 //
 //   - Inside the deterministic core (internal/sim, internal/sched,
-//     internal/cachesim, internal/job, and internal/exp whose tables and
-//     golden fingerprints are part of the output contract): additionally,
+//     internal/cachesim, internal/job, internal/shard, and internal/exp
+//     whose tables and golden fingerprints are part of the output
+//     contract): additionally,
 //     ranging over a map (iteration order is randomized by the runtime),
 //     `go` statements (scheduling order is up to the host), and multi-case
 //     select statements (ready-case choice is pseudo-random) are flagged.
@@ -42,7 +43,7 @@ var Analyzer = &analysis.Analyzer{
 // core, where the structural checks apply in addition to the universal
 // wall-clock/math-rand checks.
 func coreScoped(pkgPath string) bool {
-	for _, seg := range []string{"sim", "sched", "cachesim", "job", "exp", "cluster"} {
+	for _, seg := range []string{"sim", "sched", "cachesim", "job", "exp", "cluster", "shard"} {
 		if analysis.PathHasSegments(pkgPath, "internal", seg) {
 			return true
 		}

@@ -111,6 +111,28 @@ func Scaled(d *Desc, factor int64) *Desc {
 	return &out
 }
 
+// SocketSlice returns the sub-machine under one socket of d: the same
+// cache levels from the socket's outermost cache down, one DRAM link, and
+// a memory level with fanout 1. Sharded replay (internal/shard) simulates
+// each socket of a multi-socket machine as an independent SocketSlice;
+// RemoteLatency is dropped because a single-socket machine has no remote
+// link to cross, and the core map reverts to identity (socket-local
+// numbering).
+func SocketSlice(d *Desc, socket int) *Desc {
+	sockets := d.Levels[0].Fanout
+	if socket < 0 || socket >= sockets {
+		panic(fmt.Sprintf("machine: socket %d out of [0,%d)", socket, sockets))
+	}
+	out := *d
+	out.Name = fmt.Sprintf("%s-socket%d", d.Name, socket)
+	out.Levels = append([]Level(nil), d.Levels...)
+	out.Levels[0].Fanout = 1
+	out.CoreMap = nil
+	out.Links = 1
+	out.RemoteLatency = 0
+	return &out
+}
+
 // Flat returns a simple machine with a single cache level shared by all
 // cores: nCores cores under one cache of the given size. Useful in unit
 // tests and as the simplest PMH a scheduler must handle.

@@ -85,6 +85,14 @@ func (w *WS) Setup(env Env) {
 	w.env = env
 	w.n = env.Machine().NumCores()
 	w.queues = make([][]*job.Strand, w.n)
+	// Seed every dequeue with capacity carved from one backing array:
+	// bottom-push depth is O(split-tree depth), so qcap covers the steady
+	// state and per-Add append growth disappears from the hot path.
+	const qcap = 64
+	qback := make([]*job.Strand, w.n*qcap)
+	for i := 0; i < w.n; i++ {
+		w.queues[i] = qback[i*qcap : i*qcap : (i+1)*qcap]
+	}
 	w.local = make([]int, w.n)
 	w.steal = make([]int, w.n)
 	w.Steals = make([]int64, w.n)

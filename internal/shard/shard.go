@@ -1,0 +1,235 @@
+// Package shard runs a partitioned replay across per-socket
+// sub-simulations on real host cores while keeping the merged result a
+// pure function of the inputs.
+//
+// The partition unit is the simulated socket, not the host goroutine: a
+// machine with S sockets always produces exactly S sub-simulations
+// (machine.SocketSlice each), whatever the -shards setting. The shard
+// count only chooses how many host goroutines those S fixed simulations
+// are spread over — socket i runs on goroutine i mod N, and each
+// goroutine runs its sockets in increasing socket order. Because every
+// sub-simulation is itself deterministic (own machine, own scheduler
+// instance, own seed derived only from the socket index) and writes only
+// its own slot of the result slice, the merge sees the same S results in
+// the same socket order no matter how the goroutines interleave — the
+// shard-count invariance the replay fingerprints rely on.
+//
+// The merge rule follows the canonical completion merge used by the
+// cluster router (PR 6): order by a fixed key, never by arrival. Here the
+// key is the socket index; wall clock is the max over sockets (the
+// sockets run concurrently in simulated time), counts are sums, and the
+// fingerprint hashes the per-socket fingerprints in socket order.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/job"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Root is one partition piece to replay: a root job plus the load weight
+// LPT assignment balances (op bytes; see dagtrace.Piece).
+type Root struct {
+	Job    job.Job
+	Weight int64
+}
+
+// Config configures a sharded replay.
+type Config struct {
+	// Machine is the full multi-socket machine. Its socket count (the
+	// memory level's fanout) fixes the number of sub-simulations; Links
+	// must equal it (one DRAM link per socket), as on the Xeon 7560.
+	Machine *machine.Desc
+	// MakeSched constructs one scheduler instance per socket. Required:
+	// scheduler instances hold run state and must not be shared.
+	MakeSched func() sched.Scheduler
+	// Cost is the scheduler/runtime cost model (zero value = defaults).
+	Cost sched.CostModel
+	// Seed derives each socket's seed as Seed + (socket+1)*0x9e3779b97f4a7c15.
+	Seed uint64
+	// Shards is the number of host goroutines (not sub-simulations);
+	// values < 1 and values > the socket count are clamped.
+	Shards int
+	// PageSize is the placement page size for each socket's address space
+	// (0 = mem.PageSize). Scaled machines pass their scaled page.
+	PageSize int64
+}
+
+// Result is the deterministic merge of the per-socket simulations.
+type Result struct {
+	// WallCycles is the makespan: the max over sockets.
+	WallCycles int64
+	// Tasks, Strands and Accesses are summed over sockets (Accesses at
+	// the innermost cache level, the count trace conservation checks).
+	Tasks, Strands uint64
+	Accesses       int64
+	// Sockets holds each socket's full result in socket order; entries
+	// are nil for sockets that received no pieces.
+	Sockets []*sim.Result
+	// Assignment[s] lists the indices into the roots slice that socket s
+	// replayed, in injection order.
+	Assignment [][]int
+}
+
+// Fingerprint hashes the per-socket fingerprints in socket order; idle
+// sockets contribute a fixed marker. Equal fingerprints mean every
+// socket's simulation was bit-identical.
+func (r *Result) Fingerprint() string {
+	h := sha256.New()
+	for s, res := range r.Sockets {
+		fmt.Fprintf(h, "socket %d\n", s)
+		if res == nil {
+			fmt.Fprintf(h, "idle\n")
+			continue
+		}
+		h.Write([]byte(res.Fingerprint()))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// multiRoot injects a fixed list of roots at simulated time zero.
+type multiRoot struct {
+	jobs []job.Job
+	next int
+}
+
+func (m *multiRoot) Pending() (int64, bool) { return 0, m.next < len(m.jobs) }
+
+func (m *multiRoot) Pop() (sim.Injection, bool) {
+	inj := sim.Injection{Tag: uint64(m.next), Job: m.jobs[m.next]}
+	m.next++
+	return inj, true
+}
+
+func (m *multiRoot) Done(uint64, sim.RootStats) {}
+
+// Replay distributes the roots over the machine's sockets (longest
+// processing time first) and simulates every socket, using up to
+// cfg.Shards host goroutines. The returned Result is identical for every
+// shard count; see the package comment for why.
+func Replay(cfg Config, roots []Root) (*Result, error) {
+	m := cfg.Machine
+	if m == nil || cfg.MakeSched == nil {
+		return nil, fmt.Errorf("shard: Machine and MakeSched are required")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sockets := m.Levels[0].Fanout
+	if m.Links != sockets {
+		return nil, fmt.Errorf("shard: machine %q has %d DRAM links for %d sockets; sharded replay needs one link per socket",
+			m.Name, m.Links, sockets)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("shard: no roots to replay")
+	}
+	pageSize := cfg.PageSize
+	if pageSize == 0 {
+		pageSize = mem.PageSize
+	}
+
+	// LPT: heaviest root first (ties: original order), each to the
+	// least-loaded socket (ties: lowest socket).
+	order := make([]int, len(roots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return roots[order[a]].Weight > roots[order[b]].Weight
+	})
+	load := make([]int64, sockets)
+	assign := make([][]int, sockets)
+	for _, ri := range order {
+		best := 0
+		for s := 1; s < sockets; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		load[best] += roots[ri].Weight
+		assign[best] = append(assign[best], ri)
+	}
+	// Injection order within a socket follows the original root order so
+	// the assignment, not the LPT visit order, is what a reader sees.
+	for s := range assign {
+		sort.Ints(assign[s])
+	}
+
+	res := &Result{Sockets: make([]*sim.Result, sockets), Assignment: assign}
+	errs := make([]error, sockets)
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > sockets {
+		shards = sockets
+	}
+	runSocket := func(s int) {
+		if len(assign[s]) == 0 {
+			return
+		}
+		jobs := make([]job.Job, len(assign[s]))
+		for i, ri := range assign[s] {
+			jobs[i] = roots[ri].Job
+		}
+		sm := machine.SocketSlice(m, s)
+		sp := mem.NewSpacePaged(sm.Links, sm.Links, pageSize)
+		r, err := sim.RunStream(sim.Config{
+			Machine:   sm,
+			Space:     sp,
+			Scheduler: cfg.MakeSched(),
+			Cost:      cfg.Cost,
+			Seed:      cfg.Seed + uint64(s+1)*0x9e3779b97f4a7c15,
+		}, &multiRoot{jobs: jobs})
+		res.Sockets[s], errs[s] = r, err
+	}
+	if shards == 1 {
+		for s := 0; s < sockets; s++ {
+			runSocket(s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for g := 0; g < shards; g++ {
+			wg.Add(1)
+			// Each goroutine owns a fixed, disjoint set of sockets and a
+			// disjoint slice of the results; the merge below reads them only
+			// after Wait, in socket order — host interleaving cannot reach
+			// the merged result.
+			go func(g int) { //schedlint:ignore nondeterminism socket fan-out: disjoint result slots, deterministic socket->goroutine map, joined before merge
+				defer wg.Done()
+				for s := g; s < sockets; s += shards {
+					runSocket(s)
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	for s := 0; s < sockets; s++ {
+		if errs[s] != nil {
+			return nil, fmt.Errorf("shard: socket %d: %w", s, errs[s])
+		}
+	}
+	for _, r := range res.Sockets {
+		if r == nil {
+			continue
+		}
+		if r.WallCycles > res.WallCycles {
+			res.WallCycles = r.WallCycles
+		}
+		res.Tasks += r.Tasks
+		res.Strands += r.Strands
+		if r.Hier != nil {
+			inner := r.Machine.NumLevels() - 1
+			res.Accesses += r.Hier.HitsAt(inner) + r.Hier.MissesAt(inner)
+		}
+	}
+	return res, nil
+}

@@ -238,20 +238,25 @@ func newEngine(cfg Config) *engine {
 		e.rec = tl
 	}
 	n := e.m.NumCores()
+	// Workers live in one backing array (one allocation instead of n);
+	// e.workers never reallocates, so interior pointers stay valid.
+	backing := make([]worker, n)
 	e.workers = make([]*worker, n)
+	yield := make(chan yieldMsg)
+	exited := make(chan struct{}, n)
 	for i := 0; i < n; i++ {
-		w := &worker{
-			id:     i,
-			leaf:   e.m.LeafOf(i),
-			rng:    xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + uint64(i) + 1),
-			resume: make(chan struct{}),
-			yield:  make(chan yieldMsg),
-			exited: make(chan struct{}),
-		}
+		w := &backing[i]
+		w.id = i
+		w.leaf = e.m.LeafOf(i)
+		w.rng.Seed(cfg.Seed*0x9e3779b97f4a7c15 + uint64(i) + 1)
+		w.resume = make(chan struct{})
+		w.yield = yield
+		w.exited = exited
 		w.ctx = wctx{w: w, e: e}
 		e.workers[i] = w
 		go w.loop(e) //schedlint:ignore nondeterminism baton-pass worker: exactly one goroutine runs at a time, sequenced by resume/yield channels
 	}
+	e.lockFree = make([]int64, 0, 2*n+8)
 	e.flt = newFaultState(&cfg)
 	e.nextFault = int64(1)<<62 - 1
 	if e.flt != nil && len(e.flt.events) > 0 {
@@ -269,8 +274,9 @@ func (e *engine) shutdown() {
 	for _, w := range e.workers {
 		close(w.resume)
 	}
-	for _, w := range e.workers {
-		<-w.exited
+	// One token per goroutine on the shared exited channel.
+	for range e.workers {
+		<-e.workers[0].exited
 	}
 }
 
@@ -313,7 +319,7 @@ func (e *engine) Charge(worker int, cycles int64) {
 }
 
 // RNG implements sched.Env.
-func (e *engine) RNG(worker int) *xrand.Source { return e.workers[worker].rng }
+func (e *engine) RNG(worker int) *xrand.Source { return &e.workers[worker].rng }
 
 // --- call-back wrappers with bucket attribution --------------------------
 
@@ -353,6 +359,10 @@ func (e *engine) callTaskEnd(t *job.Task, w *worker) {
 
 // --- task/strand lifecycle ------------------------------------------------
 
+// poolSlab is the refill granularity of the task/strand/fork-pair pools:
+// a pool miss allocates one slab and hands out its objects individually.
+const poolSlab = 64
+
 func (e *engine) newTask(parent *job.Task, j job.Job) *job.Task {
 	e.nextTaskID++
 	depth := 0
@@ -360,6 +370,15 @@ func (e *engine) newTask(parent *job.Task, j job.Job) *job.Task {
 		depth = parent.Depth + 1
 	}
 	var t *job.Task
+	if len(e.taskPool) == 0 && e.pool {
+		// Refill the pool a slab at a time: one backing allocation hands
+		// out poolSlab objects, so steady-state task churn costs O(peak
+		// live / slab) allocations instead of one per pool miss.
+		slab := make([]job.Task, poolSlab)
+		for i := range slab {
+			e.taskPool = append(e.taskPool, &slab[i])
+		}
+	}
 	if n := len(e.taskPool); n > 0 {
 		t = e.taskPool[n-1]
 		e.taskPool[n-1] = nil
@@ -398,6 +417,12 @@ func (e *engine) freeStrand(s *job.Strand) {
 // allocForPair implements job.ForPairAllocator for wctx: parallel-for
 // splits draw fork contexts from the engine pool instead of the heap.
 func (e *engine) allocForPair() *job.ForPair {
+	if len(e.pairPool) == 0 && e.pool {
+		slab := make([]job.ForPair, poolSlab)
+		for i := range slab {
+			e.pairPool = append(e.pairPool, &slab[i])
+		}
+	}
 	if n := len(e.pairPool); n > 0 {
 		p := e.pairPool[n-1]
 		e.pairPool[n-1] = nil
@@ -421,6 +446,12 @@ func (e *engine) newStrand(t *job.Task, j job.Job, kind job.Kind, now int64) *jo
 		size = t.SizeBytes // paper's default: strand inherits task size
 	}
 	var s *job.Strand
+	if len(e.strandPool) == 0 && e.pool {
+		slab := make([]job.Strand, poolSlab)
+		for i := range slab {
+			e.strandPool = append(e.strandPool, &slab[i])
+		}
+	}
 	if n := len(e.strandPool); n > 0 {
 		s = e.strandPool[n-1]
 		e.strandPool[n-1] = nil
@@ -821,6 +852,11 @@ func (e *engine) step(w *worker) {
 	if w.script != nil {
 		if !e.runInline(w) {
 			return // real chunk boundary; resumes when earliest again
+		}
+		if ss, ok := w.sjob.(job.StreamScripted); ok {
+			// The script bytes were leased from a bounded decode window
+			// (streamed trace); hand them back now that the strand is done.
+			ss.ReleaseScript(w.script)
 		}
 		w.script, w.sjob = nil, nil
 		e.drainIdle(w)

@@ -144,8 +144,11 @@ func (e *engine) runInline(w *worker) bool {
 	w.timers[BucketActive] += active
 	w.chunkLeft = chunkLeft
 	// Strand complete: stage the terminal fork the goroutine path would
-	// have recorded through wctx.Fork, then let the caller finish it.
-	if cont, kids := w.sjob.ScriptFork(); len(kids) > 0 {
+	// have recorded through wctx.Fork, then let the caller finish it. A
+	// cont with no children (a partitioned spine strand whose child
+	// subtrees were split off) still forks: the empty parallel block joins
+	// immediately and releases the continuation.
+	if cont, kids := w.sjob.ScriptFork(); len(kids) > 0 || cont != nil {
 		w.fork = forkRec{called: true, cont: cont, children: kids}
 	}
 	return true

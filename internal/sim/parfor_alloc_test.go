@@ -35,6 +35,32 @@ func parforAllocs(t *testing.T, leaves int, annotated bool) float64 {
 // before pooling each split cost three heap allocations. Pooled splits must
 // not scale with split count — only with peak tree depth — so the large run
 // may exceed the small one by at most a small constant.
+// TestParallelForAllocFloor ratchets the absolute per-run allocation count
+// of the bench-harness engine_parallel_for configuration (TwoSocket(4),
+// 64K elements, grain 256, WS). History: 1094 before fork-pair pooling,
+// 383 after, now under 100 with slab-refilled pools, shared worker yield/
+// exited channels, merged cache backing arrays and preallocated dequeues.
+// If this fails AFTER a deliberate engine change, re-measure with
+// `go test -bench BenchmarkHarnessEngine -benchmem ./internal/exp` and
+// justify the new floor; it must never drift upward silently.
+func TestParallelForAllocFloor(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<18, 1<<13)
+	allocs := testing.AllocsPerRun(5, func() {
+		sp := mem.NewSpace(m.Links, m.Links)
+		arr := sp.NewF64("xs", 1<<16)
+		root := job.For(0, arr.Len(), 256,
+			func(lo, hi int) int64 { return int64(hi-lo) * 8 },
+			func(ctx job.Ctx, i int) { arr.Write(ctx, i, 1) })
+		if _, err := Run(Config{Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 1}, root); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const floor = 100
+	if allocs > floor {
+		t.Errorf("engine_parallel_for run costs %.0f allocs, ratchet is %d", allocs, floor)
+	}
+}
+
 func TestParallelForAllocFree(t *testing.T) {
 	for _, tc := range []struct {
 		name      string

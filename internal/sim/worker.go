@@ -38,7 +38,7 @@ type worker struct {
 
 	clock  int64
 	timers [numBuckets]int64
-	rng    *xrand.Source
+	rng    xrand.Source
 
 	cur *job.Strand
 
@@ -46,9 +46,12 @@ type worker struct {
 	// embedded here so strand execution allocates nothing per strand.
 	ctx wctx
 
-	// resume: engine → worker "run until your next yield".
-	// yield:  worker → engine, exactly one reply per resume.
-	// exited: closed when the goroutine returns.
+	// resume: engine → worker "run until your next yield" (per worker:
+	// all workers block on their own resume simultaneously).
+	// yield:  worker → engine, exactly one reply per resume. Shared by
+	// every worker of an engine — the baton-pass invariant (at most one
+	// worker runs at a time) guarantees only the resumed worker can send.
+	// exited: shared, buffered; each goroutine sends one token on return.
 	resume chan struct{}
 	yield  chan yieldMsg
 	exited chan struct{}
@@ -91,7 +94,7 @@ type forkRec struct {
 
 // loop is the worker goroutine body: wait for a strand, run it, report.
 func (w *worker) loop(e *engine) {
-	defer close(w.exited)
+	defer func() { w.exited <- struct{}{} }()
 	for range w.resume {
 		msg := w.runStrand(e)
 		if msg.kind == yieldStopped {
@@ -277,4 +280,4 @@ func (c *wctx) AllocForPair() *job.ForPair { return c.e.allocForPair() }
 func (c *wctx) Worker() int { return c.w.id }
 
 // RNG implements job.Ctx.
-func (c *wctx) RNG() *xrand.Source { return c.w.rng }
+func (c *wctx) RNG() *xrand.Source { return &c.w.rng }
