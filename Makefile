@@ -17,15 +17,31 @@ race:
 
 # lint runs the repository's own static-analysis suite (see internal/lint
 # and DESIGN.md §6). A finding is a build failure; allowlist intentional
-# exceptions with `//schedlint:ignore <analyzer> <reason>`.
+# exceptions with `//schedlint:ignore <analyzer> <reason>` — the
+# unusedignore analyzer deletes-or-justifies every such entry.
 lint:
 	$(GO) run ./cmd/schedlint ./...
 
 # lint-vettool exercises the same analyzers through the go vet driver,
-# which caches per-package results in the build cache.
+# which caches per-package results in the build cache; cross-package
+# taint summaries travel through vet's facts files.
 lint-vettool:
 	$(GO) build -o $(CURDIR)/bin/schedlint ./cmd/schedlint
 	$(GO) vet -vettool=$(CURDIR)/bin/schedlint ./...
+
+# lint-json emits the findings as a JSON array (file, line, analyzer,
+# message, and simtime taint traces); CI uploads bin/schedlint.json as an
+# artifact on every run.
+lint-json:
+	@mkdir -p bin
+	$(GO) run ./cmd/schedlint -json ./... | tee bin/schedlint.json
+
+# lint-new reports only findings absent from the committed baseline
+# (.schedlint-baseline.json, currently empty — the tree is clean). Useful
+# on long-running branches; regenerate the baseline from `make lint-json`
+# output when an accepted debt is deliberately carried.
+lint-new:
+	$(GO) run ./cmd/schedlint -baseline .schedlint-baseline.json ./...
 
 bench:
 	$(GO) run ./cmd/schedbench -benchjson BENCH_sim.json
@@ -74,13 +90,16 @@ fullscale-smoke:
 
 # fuzz smoke-runs the codec fuzz targets for a few seconds each (go test
 # accepts exactly one -fuzz pattern per invocation, hence one run per
-# target): the opcode varint codecs plus the framed-trace stream decoder.
-# Corpus additions land under <pkg>/testdata/fuzz/.
+# target): the opcode varint codecs, the framed-trace stream decoder, and
+# the //schedlint: directive parser (malformed directives must parse into
+# findings, never panic or silently grant exemptions). Corpus additions
+# land under <pkg>/testdata/fuzz/.
 fuzz:
 	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzUvarintRoundTrip$$' -fuzztime 5s
 	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzUvarintDecode$$' -fuzztime 5s
 	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzZigzagRoundTrip$$' -fuzztime 5s
 	$(GO) test ./internal/dagtrace/ -run '^$$' -fuzz '^FuzzFramedDecode$$' -fuzztime 5s
+	$(GO) test ./internal/lint/analysis/ -run '^$$' -fuzz '^FuzzDirective$$' -fuzztime 5s
 
 # check is the full pre-push gate: everything CI enforces that can run
 # offline (staticcheck and govulncheck need their pinned tools installed;

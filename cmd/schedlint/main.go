@@ -1,6 +1,7 @@
-// Command schedlint runs the repository's static-analysis suite: four
-// analyzers that enforce the simulator's determinism and hot-path
-// contracts (see internal/lint and DESIGN.md §6).
+// Command schedlint runs the repository's static-analysis suite: the
+// analyzers that enforce the simulator's determinism, dataflow-purity,
+// lease-discipline and hot-path contracts (see internal/lint and
+// DESIGN.md §6).
 //
 // It speaks two dialects:
 //
@@ -12,6 +13,16 @@
 // directory), runs every analyzer and prints findings as
 // file:line:col: analyzer: message. Exit status 1 when findings exist.
 //
+// Two standalone flags:
+//
+//	-json             print findings as a JSON array — file, line, col,
+//	                  analyzer, message, and (for simtime) the taint
+//	                  trace — for CI artifacts and tooling;
+//	-baseline <file>  print and fail on only the findings not present in
+//	                  the committed baseline (matched by analyzer, file
+//	                  and message; line-insensitive so unrelated edits
+//	                  don't churn it). Regenerate with -json output.
+//
 // As a go vet tool, for toolchain integration and vet's caching:
 //
 //	go build -o /tmp/schedlint ./cmd/schedlint
@@ -19,10 +30,14 @@
 //
 // in which case cmd/go drives it through the unit-checker protocol
 // (-V=full, -flags, per-package *.cfg files; see internal/lint/unitchecker).
+// In this mode cross-package taint summaries travel through vet's facts
+// (vetx) files, so simtime sees through in-module helpers exactly as it
+// does standalone.
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -30,14 +45,15 @@ import (
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
 	"repro/internal/lint/unitchecker"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout io.Writer) int {
 	// Dispatch on the vet protocol before anything else: cmd/go probes
 	// with -V=full and -flags, then invokes with a single *.cfg argument.
 	if len(args) == 1 {
@@ -46,36 +62,152 @@ func run(args []string) int {
 			return printVersion()
 		case args[0] == "-flags":
 			// No tool-specific flags: cmd/go forwards nothing.
-			fmt.Println("[]")
+			fmt.Fprintln(stdout, "[]")
 			return 0
 		case strings.HasSuffix(args[0], ".cfg"):
 			return unitchecker.Run(args[0], lint.Analyzers())
 		}
 	}
 
-	patterns := args
+	var (
+		jsonOut      bool
+		baselinePath string
+		patterns     []string
+	)
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-json":
+			jsonOut = true
+		case a == "-baseline":
+			i++
+			if i >= len(args) {
+				return usage()
+			}
+			baselinePath = args[i]
+		case strings.HasPrefix(a, "-baseline="):
+			baselinePath = strings.TrimPrefix(a, "-baseline=")
+		case strings.HasPrefix(a, "-"):
+			return usage()
+		default:
+			patterns = append(patterns, a)
+		}
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	for _, p := range patterns {
-		if strings.HasPrefix(p, "-") {
-			fmt.Fprintf(os.Stderr, "usage: schedlint [packages]\n\nschedlint takes go list package patterns (default ./...) and no flags;\nunder 'go vet -vettool' it is driven by cmd/go automatically.\n")
-			return 2
-		}
-	}
+
 	findings, err := lint.Run(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
 		return 1
 	}
-	for _, f := range findings {
-		fmt.Println(f.String())
+	if baselinePath != "" {
+		findings, err = filterBaseline(findings, baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+			return 1
+		}
+	}
+	if jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(findings))
+		what := "finding(s)"
+		if baselinePath != "" {
+			what = "new finding(s) not in " + baselinePath
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: %d %s\n", len(findings), what)
 		return 1
 	}
 	return 0
+}
+
+func usage() int {
+	fmt.Fprintf(os.Stderr, "usage: schedlint [-json] [-baseline file] [packages]\n\n"+
+		"schedlint takes go list package patterns (default ./...).\n"+
+		"-json prints findings as a JSON array (with taint traces);\n"+
+		"-baseline prints only findings absent from the committed baseline file.\n"+
+		"Under 'go vet -vettool' it is driven by cmd/go automatically.\n")
+	return 2
+}
+
+// jsonFinding is the machine-readable finding shape; the baseline file
+// holds an array of these (line/col/trace are ignored when matching, so
+// unrelated edits above a baselined finding don't churn the file).
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Trace    []string `json:"trace,omitempty"`
+}
+
+// relFile maps a finding's absolute filename to a cwd-relative path, so
+// JSON output and baselines are stable across checkouts.
+func relFile(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+func toJSON(findings []analysis.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     relFile(f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Trace:    f.Trace,
+		})
+	}
+	return out
+}
+
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSON(findings))
+}
+
+// filterBaseline drops findings present in the baseline file: same
+// analyzer, file and message. The baseline is the -json output format
+// (extra fields tolerated), so it regenerates mechanically.
+func filterBaseline(findings []analysis.Finding, path string) ([]analysis.Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %v", err)
+	}
+	var base []jsonFinding
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	known := make(map[string]bool, len(base))
+	for _, b := range base {
+		known[b.Analyzer+"\x00"+b.File+"\x00"+b.Message] = true
+	}
+	var out []analysis.Finding
+	for _, f := range findings {
+		if known[f.Analyzer+"\x00"+relFile(f.Pos.Filename)+"\x00"+f.Message] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // printVersion implements -V=full: the last field must be a build

@@ -86,6 +86,8 @@ func (e ScaleEvent) String() string {
 // lowest-id inactive machine and latches its cold-start flush; scale-down
 // drains the highest-id active machine. At most one action per epoch,
 // none during cooldown.
+//
+//schedlint:decision
 func (c *coordinator) evaluate(now int64) {
 	p := c.cfg.Scale
 	if c.cooldown > 0 {

@@ -69,6 +69,7 @@ type rrRouter struct {
 func (r *rrRouter) Name() string { return "rr" }
 
 //schedlint:hotpath
+//schedlint:decision
 func (r *rrRouter) Pick(c *coordinator, _ uint64, _ int) int {
 	n := len(c.ms)
 	for k := 0; k < n; k++ {
@@ -88,6 +89,7 @@ type leastRouter struct{}
 func (leastRouter) Name() string { return "least" }
 
 //schedlint:hotpath
+//schedlint:decision
 func (leastRouter) Pick(c *coordinator, _ uint64, tenant int) int {
 	best := -1
 	for i := range c.ms {
@@ -113,6 +115,7 @@ type qdepthRouter struct{}
 func (qdepthRouter) Name() string { return "qdepth" }
 
 //schedlint:hotpath
+//schedlint:decision
 func (qdepthRouter) Pick(c *coordinator, _ uint64, tenant int) int {
 	best, bestQ := -1, 0
 	for i := range c.ms {
@@ -149,6 +152,7 @@ type affinityRouter struct {
 func (*affinityRouter) Name() string { return "affinity" }
 
 //schedlint:hotpath
+//schedlint:decision
 func (r *affinityRouter) Pick(c *coordinator, sig uint64, tenant int) int {
 	fallback := leastRouter{}.Pick(c, sig, tenant)
 	if fallback < 0 {

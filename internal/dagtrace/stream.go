@@ -501,6 +501,8 @@ var emptyScript = []byte{}
 // fetch copies op bytes [off, end) into a leased buffer. On I/O failure or
 // frame corruption it records the error and returns an empty script — the
 // replay then under-executes and CheckResult reports the recorded error.
+//
+//schedlint:lease acquire
 func (t *StreamTrace) fetch(off, end int64) []byte {
 	if end <= off {
 		return emptyScript
@@ -536,6 +538,8 @@ func (t *StreamTrace) fetch(off, end int64) []byte {
 }
 
 // release returns a buffer obtained from fetch to the lease pool.
+//
+//schedlint:lease release
 func (t *StreamTrace) release(buf []byte) {
 	if cap(buf) == 0 {
 		return // emptyScript

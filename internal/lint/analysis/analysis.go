@@ -19,6 +19,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Analyzer describes one static check.
@@ -37,6 +38,10 @@ type Analyzer struct {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Trace optionally carries the dataflow derivation behind the finding
+	// (innermost step first), for analyzers built on the taint layer. It
+	// is surfaced by the driver's -json output.
+	Trace []string
 }
 
 // Pass carries one package's parsed and type-checked form to an analyzer,
@@ -89,6 +94,9 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Trace is the dataflow derivation behind the finding, when the
+	// analyzer recorded one (simtime does); innermost step first.
+	Trace []string
 }
 
 // String formats the finding the way the driver prints it.
@@ -96,16 +104,41 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// UnusedIgnoreName is the name of the pseudo-analyzer that audits the
+// ignore allowlist itself. Its Run hook is a no-op: the check needs every
+// other analyzer's suppression record, so it lives here in the driver.
+// Including an analyzer with this name in the run set declares the set
+// complete, activating the audit — a single-analyzer analysistest run
+// must not flag directives aimed at analyzers that did not run.
+const UnusedIgnoreName = "unusedignore"
+
 // Run applies every analyzer to one type-checked package and returns the
 // surviving findings: diagnostics suppressed by a well-formed
 // //schedlint:ignore directive are dropped, and malformed directives are
 // themselves reported (under the pseudo-analyzer name "schedlint") so an
 // allowlist entry can never silently rot.
+//
+// When the run set includes the unusedignore pseudo-analyzer, every
+// ignore directive must earn its keep: a directive that suppressed no
+// diagnostic, or that names an analyzer not in the suite, becomes a
+// finding. Those findings cannot themselves be suppressed — a stale
+// allowlist entry demands deletion, not a second allowlist entry.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
-	ignores, malformed := parseIgnores(fset, files)
+	dirs := parseDirectives(fset, files)
 	var out []Finding
-	out = append(out, malformed...)
+	out = append(out, dirs.malformed...)
+	names := make(map[string]bool, len(analyzers))
+	auditIgnores := false
 	for _, a := range analyzers {
+		names[a.Name] = true
+		if a.Name == UnusedIgnoreName {
+			auditIgnores = true
+		}
+	}
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -120,10 +153,42 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		}
 		for _, d := range diags {
 			posn := fset.Position(d.Pos)
-			if ignores.covers(a.Name, posn) {
+			if dirs.suppress(a.Name, posn) {
 				continue
 			}
-			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message, Trace: d.Trace})
+		}
+	}
+	if auditIgnores {
+		for _, e := range dirs.entries {
+			for _, n := range e.names {
+				if !names[n] {
+					out = append(out, Finding{
+						Analyzer: UnusedIgnoreName,
+						Pos:      e.pos,
+						Message:  fmt.Sprintf("ignore directive names unknown analyzer %q; known analyzers are those in the schedlint suite", n),
+					})
+				}
+			}
+			if e.used {
+				continue
+			}
+			known := false
+			for _, n := range e.names {
+				if names[n] {
+					known = true
+					break
+				}
+			}
+			if !known {
+				continue // already reported as unknown above
+			}
+			out = append(out, Finding{
+				Analyzer: UnusedIgnoreName,
+				Pos:      e.pos,
+				Message: fmt.Sprintf("ignore directive for %s suppresses nothing on this or the next line; "+
+					"the exemption it documents no longer exists — delete the directive", strings.Join(e.names, ",")),
+			})
 		}
 	}
 	return out, nil

@@ -13,83 +13,202 @@ import (
 //	    marks the function whose declaration it documents as an
 //	    allocation-free hot path, opting it into the hotalloc analyzer;
 //
+//	//schedlint:decision
+//	    marks the function whose declaration it documents as a scheduler
+//	    decision point: its return values steer scheduling, routing,
+//	    autoscaling or admission. The simtime analyzer rejects any value
+//	    inside the function — or any argument passed to it — that derives
+//	    from a wall clock, an environment read, an unseeded global
+//	    generator or map-iteration order;
+//
+//	//schedlint:lease acquire | //schedlint:lease release
+//	    marks the function whose declaration it documents as a lease
+//	    acquisition or release hook for the leaseleak analyzer (the
+//	    StreamScripted Script/ReleaseScript pair is recognized without
+//	    annotation; the directive extends the contract to package-local
+//	    helpers such as a decode window's fetch/release);
+//
 //	//schedlint:ignore <analyzer>[,<analyzer>...] <reason>
 //	    suppresses the named analyzers' findings on the directive's own
 //	    line and on the directly following line (so it works both as a
 //	    trailing comment and on a line of its own). The reason is
-//	    mandatory: an allowlist
-//	    entry must say why the code is exempt, and the driver reports
-//	    reason-less (or analyzer-less) directives as findings of their own.
+//	    mandatory: an allowlist entry must say why the code is exempt.
+//
+// Malformed directives — a reason-less or analyzer-less ignore, a lease
+// with no role, or an unknown verb (a typo like //schedlint:hotpth used
+// to parse silently) — are reported as findings of their own, so a
+// directive can never appear to grant an exemption it does not grant.
+const directivePrefix = "//schedlint:"
+
+// Directive verbs and lease roles.
 const (
-	hotpathDirective = "//schedlint:hotpath"
-	ignoreDirective  = "//schedlint:ignore"
+	VerbHotpath  = "hotpath"
+	VerbDecision = "decision"
+	VerbLease    = "lease"
+	VerbIgnore   = "ignore"
+
+	LeaseAcquire = "acquire"
+	LeaseRelease = "release"
 )
+
+// Directive is one parsed //schedlint: comment.
+type Directive struct {
+	// Verb is one of the Verb* constants.
+	Verb string
+	// Analyzers and Reason are populated for ignore directives.
+	Analyzers []string
+	Reason    string
+	// Role is populated for lease directives: LeaseAcquire or LeaseRelease.
+	Role string
+	// Note is free-text trailing a hotpath or decision directive.
+	Note string
+}
+
+// ParseDirective parses one comment's text. It returns ok=false when the
+// comment is not a schedlint directive at all (no //schedlint: prefix),
+// and a non-empty errmsg when it is one but is malformed. It never
+// panics, whatever the input: FuzzDirective holds it to that.
+func ParseDirective(text string) (d Directive, errmsg string, ok bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, "", false
+	}
+	rest := text[len(directivePrefix):]
+	verb, args, _ := strings.Cut(rest, " ")
+	args = strings.TrimSpace(args)
+	switch verb {
+	case VerbHotpath, VerbDecision:
+		return Directive{Verb: verb, Note: args}, "", true
+	case VerbLease:
+		role, note, _ := strings.Cut(args, " ")
+		if role != LeaseAcquire && role != LeaseRelease {
+			return Directive{Verb: verb}, "malformed lease directive: want //schedlint:lease acquire|release", true
+		}
+		return Directive{Verb: verb, Role: role, Note: strings.TrimSpace(note)}, "", true
+	case VerbIgnore:
+		name, reason, _ := strings.Cut(args, " ")
+		var names []string
+		for _, a := range strings.Split(name, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				names = append(names, a)
+			}
+		}
+		if len(names) == 0 || strings.TrimSpace(reason) == "" {
+			return Directive{Verb: verb}, "malformed ignore directive: want //schedlint:ignore <analyzer>[,<analyzer>] <reason>", true
+		}
+		return Directive{Verb: verb, Analyzers: names, Reason: strings.TrimSpace(reason)}, "", true
+	default:
+		return Directive{}, "unknown directive //schedlint:" + verb + "; known verbs: hotpath, decision, lease, ignore", true
+	}
+}
+
+// docDirective scans fn's doc comment group for a directive with the
+// given verb and returns it.
+func docDirective(fn *ast.FuncDecl, verb string) (Directive, bool) {
+	if fn.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		d, errmsg, ok := ParseDirective(c.Text)
+		if ok && errmsg == "" && d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
 
 // IsHotpath reports whether fn is marked //schedlint:hotpath in its doc
 // comment group.
 func IsHotpath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
+	_, ok := docDirective(fn, VerbHotpath)
+	return ok
+}
+
+// IsDecision reports whether fn is marked //schedlint:decision in its
+// doc comment group.
+func IsDecision(fn *ast.FuncDecl) bool {
+	_, ok := docDirective(fn, VerbDecision)
+	return ok
+}
+
+// LeaseRole returns LeaseAcquire or LeaseRelease when fn carries a
+// //schedlint:lease directive, and "" otherwise.
+func LeaseRole(fn *ast.FuncDecl) string {
+	d, ok := docDirective(fn, VerbLease)
+	if !ok {
+		return ""
 	}
-	for _, c := range fn.Doc.List {
-		text := strings.TrimSpace(c.Text)
-		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
-			return true
+	return d.Role
+}
+
+// ignoreEntry is one well-formed ignore directive, with usage tracking:
+// a directive that suppresses no diagnostic across a full-suite run is
+// itself reported (by the unusedignore pseudo-analyzer), keeping the
+// allowlist honest.
+type ignoreEntry struct {
+	pos   token.Position
+	names []string
+	used  bool
+}
+
+// directives is the per-package directive index.
+type directives struct {
+	malformed []Finding
+	entries   []*ignoreEntry
+	// index maps "file\x00analyzer" -> line -> entries covering that line.
+	index map[string]map[int][]*ignoreEntry
+}
+
+func (ds *directives) add(e *ignoreEntry) {
+	ds.entries = append(ds.entries, e)
+	for _, a := range e.names {
+		key := e.pos.Filename + "\x00" + a
+		if ds.index[key] == nil {
+			ds.index[key] = make(map[int][]*ignoreEntry)
 		}
+		// A directive covers its own line and the directly following one.
+		ds.index[key][e.pos.Line] = append(ds.index[key][e.pos.Line], e)
+		ds.index[key][e.pos.Line+1] = append(ds.index[key][e.pos.Line+1], e)
 	}
-	return false
 }
 
-// ignoreIndex records which (analyzer, file, line) triples are suppressed.
-type ignoreIndex map[string]map[int]bool // "file\x00analyzer" -> lines
-
-func (ix ignoreIndex) add(file, analyzer string, line int) {
-	key := file + "\x00" + analyzer
-	if ix[key] == nil {
-		ix[key] = make(map[int]bool)
+// suppress reports whether a diagnostic of analyzer at posn is covered by
+// an ignore directive, marking every covering directive as used.
+func (ds *directives) suppress(analyzer string, posn token.Position) bool {
+	es := ds.index[posn.Filename+"\x00"+analyzer][posn.Line]
+	for _, e := range es {
+		e.used = true
 	}
-	ix[key][line] = true
+	return len(es) > 0
 }
 
-func (ix ignoreIndex) covers(analyzer string, posn token.Position) bool {
-	return ix[posn.Filename+"\x00"+analyzer][posn.Line]
-}
-
-// parseIgnores scans every comment of every file for ignore directives.
-// Well-formed directives populate the index; malformed ones become
+// parseDirectives scans every comment of every file. Well-formed ignore
+// directives populate the index; malformed directives of any verb become
 // findings so they fail the build instead of silently ignoring nothing
 // (or, worse, appearing to justify an exemption they do not grant).
-func parseIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Finding) {
-	ix := make(ignoreIndex)
-	var malformed []Finding
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	ds := &directives{index: make(map[string]map[int][]*ignoreEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(c.Text)
-				if text != ignoreDirective && !strings.HasPrefix(text, ignoreDirective+" ") {
+				d, errmsg, ok := ParseDirective(c.Text)
+				if !ok {
 					continue
 				}
 				posn := fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
-				name, reason, _ := strings.Cut(rest, " ")
-				if name == "" || strings.TrimSpace(reason) == "" {
-					malformed = append(malformed, Finding{
+				if errmsg != "" {
+					ds.malformed = append(ds.malformed, Finding{
 						Analyzer: "schedlint",
 						Pos:      posn,
-						Message:  "malformed ignore directive: want //schedlint:ignore <analyzer>[,<analyzer>] <reason>",
+						Message:  errmsg,
 					})
 					continue
 				}
-				for _, a := range strings.Split(name, ",") {
-					a = strings.TrimSpace(a)
-					if a == "" {
-						continue
-					}
-					ix.add(posn.Filename, a, posn.Line)
-					ix.add(posn.Filename, a, posn.Line+1)
+				if d.Verb == VerbIgnore {
+					ds.add(&ignoreEntry{pos: posn, names: d.Analyzers})
 				}
 			}
 		}
 	}
-	return ix, malformed
+	return ds
 }

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDirective holds ParseDirective to its contract on arbitrary
+// comment text: it never panics, it never claims a non-directive is one,
+// and — the regression this guards — a //schedlint: comment is never
+// both well-formed and meaningless. Before the parser rejected unknown
+// verbs, a typo like //schedlint:hotpth parsed silently as no directive
+// at all, appearing to grant an exemption it did not grant.
+func FuzzDirective(f *testing.F) {
+	seeds := []string{
+		"//schedlint:hotpath",
+		"//schedlint:hotpath steal path",
+		"//schedlint:decision",
+		"//schedlint:lease acquire",
+		"//schedlint:lease release decode window",
+		"//schedlint:lease",
+		"//schedlint:lease borrow",
+		"//schedlint:ignore nondeterminism host timing for the report",
+		"//schedlint:ignore a,b two analyzers one reason",
+		"//schedlint:ignore",
+		"//schedlint:ignore nondeterminism",
+		"//schedlint:ignore , reason with empty names",
+		"//schedlint:hotpth typo verb",
+		"//schedlint:",
+		"//schedlint: ignore nondeterminism leading space",
+		"// ordinary comment",
+		"//schedlint:ignore\tnondeterminism tab separated",
+		"//schedlint:ignore \x00 reason",
+		"schedlint:ignore no slashes",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, errmsg, ok := ParseDirective(s)
+		isDirective := strings.HasPrefix(strings.TrimSpace(s), directivePrefix)
+		if ok != isDirective {
+			t.Fatalf("ParseDirective(%q): ok=%v but prefix presence is %v", s, ok, isDirective)
+		}
+		if !ok {
+			if errmsg != "" {
+				t.Fatalf("ParseDirective(%q): not a directive but errmsg=%q", s, errmsg)
+			}
+			return
+		}
+		if errmsg != "" {
+			return // malformed: reported as a finding, nothing else to hold
+		}
+		switch d.Verb {
+		case VerbHotpath, VerbDecision:
+		case VerbLease:
+			if d.Role != LeaseAcquire && d.Role != LeaseRelease {
+				t.Fatalf("ParseDirective(%q): well-formed lease with role %q", s, d.Role)
+			}
+		case VerbIgnore:
+			if len(d.Analyzers) == 0 || strings.TrimSpace(d.Reason) == "" {
+				t.Fatalf("ParseDirective(%q): well-formed ignore with analyzers=%v reason=%q", s, d.Analyzers, d.Reason)
+			}
+		default:
+			t.Fatalf("ParseDirective(%q): well-formed directive with unexpected verb %q", s, d.Verb)
+		}
+	})
+}

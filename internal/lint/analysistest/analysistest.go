@@ -40,6 +40,17 @@ import (
 // reports mismatches between diagnostics and // want expectations on t.
 func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
+	RunSuite(t, []*analysis.Analyzer{a}, pkgpaths...)
+}
+
+// RunSuite applies a whole analyzer set to each testdata package, exactly
+// as the driver would: shared directive handling, and — when the set
+// includes the unusedignore pseudo-analyzer — the allowlist audit.
+// Packages are processed in argument order within one loader, so a
+// summary-producing analyzer (simtime) sees its cross-package facts when
+// a dependency package is listed before its consumer.
+func RunSuite(t *testing.T, analyzers []*analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
 	root, err := filepath.Abs("testdata")
 	if err != nil {
 		t.Fatal(err)
@@ -56,9 +67,9 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		findings, err := analysis.Run(ld.fset, pkg.files, pkg.types, pkg.info, []*analysis.Analyzer{a})
+		findings, err := analysis.Run(ld.fset, pkg.files, pkg.types, pkg.info, analyzers)
 		if err != nil {
-			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			t.Errorf("running suite on %s: %v", path, err)
 			continue
 		}
 		checkExpectations(t, ld.fset, pkg.files, findings)

@@ -1,0 +1,520 @@
+// Package leaseleak implements the "leaseleak" analyzer: a buffer leased
+// from a streamed trace's bounded decode window must be handed back on
+// every path — including error paths — or the window's memory bound
+// (PeakResidentBytes, DESIGN §10) silently becomes a leak that only shows
+// up hours into a full-paper-scale replay.
+//
+// Lease acquisitions are recognized two ways:
+//
+//   - a call to the Script method of a value whose static type implements
+//     job.StreamScripted (the inline-interpreter contract from the
+//     streamed-replay work: Script leases, ReleaseScript returns);
+//   - a call to any function annotated //schedlint:lease acquire — used
+//     for package-local lease sources such as a decode window's fetch.
+//
+// Release hooks are any method named ReleaseScript and any function
+// annotated //schedlint:lease release.
+//
+// The analysis walks each function body path-sensitively (branches fork
+// the live-lease set; merges keep a lease live if it is live on any
+// incoming path) and reports a lease that can reach a return — or the end
+// of the function — without being discharged. Ownership transfers
+// discharge a lease without a release call:
+//
+//   - returning the leased buffer (the caller now owns it);
+//   - storing it into a field, slice, map, global, or channel (the
+//     structure now owns it — the engine parking a lease in w.script and
+//     releasing it at strand completion is the canonical example);
+//   - handing it to a goroutine;
+//   - a deferred release (covers every exit).
+//
+// Passing the buffer to an ordinary call is a borrow, not a transfer: a
+// helper that is supposed to release must be annotated
+// //schedlint:lease release, which is exactly the audit trail wanted.
+// Loop-carried leaks (acquire each iteration, release never) and leaks
+// past break/continue are out of scope for this pass.
+package leaseleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the leaseleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "leaseleak",
+	Doc: "every StreamScripted (or //schedlint:lease acquire) lease must reach a release hook " +
+		"or an ownership transfer on all paths, including error paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	s := &scope{
+		pass:  pass,
+		roles: make(map[*types.Func]string),
+		iface: streamScriptedIface(pass),
+	}
+	// Collect package-local lease annotations first: acquire/release
+	// helpers are usually declared before or after their users.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if role := analysis.LeaseRole(fn); role != "" {
+				if obj, ok := pass.ObjectOf(fn.Name).(*types.Func); ok {
+					s.roles[obj] = role
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			s.checkFunc(fn.Body)
+			// Function literals run on their own schedule; analyze each as
+			// an independent scope.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					s.checkFunc(lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// streamScriptedIface finds the job.StreamScripted interface: in the
+// current package when it is named "job", else among direct imports named
+// "job". Nil when the package cannot see the interface (then only
+// annotated acquires apply).
+func streamScriptedIface(pass *analysis.Pass) *types.Interface {
+	lookup := func(pkg *types.Package) *types.Interface {
+		if pkg.Name() != "job" {
+			return nil
+		}
+		obj := pkg.Scope().Lookup("StreamScripted")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if iface := lookup(pass.Pkg); iface != nil {
+		return iface
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if iface := lookup(imp); iface != nil {
+			return iface
+		}
+	}
+	return nil
+}
+
+type scope struct {
+	pass  *analysis.Pass
+	roles map[*types.Func]string // annotated acquire/release helpers
+	iface *types.Interface       // job.StreamScripted, if visible
+}
+
+// lease is one tracked acquisition. Objects aliasing the lease map to the
+// same record, so releasing through an alias discharges the original.
+type lease struct {
+	pos token.Pos // acquisition site
+}
+
+// state maps live lease variables to their records. Branch walks operate
+// on copies; a record released on only one path stays live on the other.
+type state map[types.Object]*lease
+
+func (st state) clone() state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// discharge removes every variable bound to rec.
+func (st state) discharge(rec *lease) {
+	for k, v := range st {
+		if v == rec {
+			delete(st, k)
+		}
+	}
+}
+
+// merge unions live leases from a completed branch into st.
+func (st state) merge(other state) {
+	for k, v := range other {
+		st[k] = v
+	}
+}
+
+// checkFunc runs the path walk over one function body.
+func (s *scope) checkFunc(body *ast.BlockStmt) {
+	st, terminated := s.stmts(body.List, make(state))
+	if !terminated {
+		s.reportLive(st, body.Rbrace, "function returns")
+	}
+}
+
+// reportLive reports every distinct live lease at pos.
+func (s *scope) reportLive(st state, pos token.Pos, how string) {
+	seen := make(map[*lease]bool)
+	// Deterministic order: report by acquisition position.
+	var recs []*lease
+	for _, rec := range st {
+		if !seen[rec] {
+			seen[rec] = true
+			recs = append(recs, rec)
+		}
+	}
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			if recs[j].pos < recs[i].pos {
+				recs[i], recs[j] = recs[j], recs[i]
+			}
+		}
+	}
+	for _, rec := range recs {
+		s.pass.Reportf(pos,
+			"%s without releasing the script lease acquired at %s; leases must reach a release hook on every path, including error paths",
+			how, s.pass.Fset.Position(rec.pos))
+	}
+}
+
+// stmts walks a statement list. terminated reports that control cannot
+// fall off the end (return, or a branch statement treated conservatively
+// as an exit).
+func (s *scope) stmts(list []ast.Stmt, st state) (state, bool) {
+	for _, n := range list {
+		var term bool
+		st, term = s.stmt(n, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (s *scope) stmt(n ast.Stmt, st state) (state, bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		s.assign(n, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					s.declare(vs, st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			s.applyCall(call, st)
+		}
+	case *ast.DeferStmt:
+		// A deferred release covers every exit from here on.
+		s.applyCall(n.Call, st)
+	case *ast.GoStmt:
+		// The goroutine takes ownership of any lease it receives.
+		s.transferArgs(n.Call, st)
+	case *ast.SendStmt:
+		s.transferExpr(n.Value, st)
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			s.transferExpr(e, st)
+		}
+		s.reportLive(st, n.Pos(), "return")
+		return st, true
+	case *ast.BlockStmt:
+		return s.stmts(n.List, st)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			st, _ = s.stmt(n.Init, st)
+		}
+		thenSt, thenTerm := s.stmts(n.Body.List, st.clone())
+		var elseSt state
+		elseTerm := false
+		if n.Else != nil {
+			elseSt, elseTerm = s.stmt(n.Else, st.clone())
+		} else {
+			elseSt = st
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			thenSt.merge(elseSt)
+			return thenSt, false
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			st, _ = s.stmt(n.Init, st)
+		}
+		bodySt, _ := s.stmts(n.Body.List, st.clone())
+		st.merge(bodySt)
+	case *ast.RangeStmt:
+		bodySt, _ := s.stmts(n.Body.List, st.clone())
+		st.merge(bodySt)
+	case *ast.SwitchStmt:
+		return s.caseClauses(n.Init, n.Body, st, false)
+	case *ast.TypeSwitchStmt:
+		return s.caseClauses(n.Init, n.Body, st, false)
+	case *ast.SelectStmt:
+		// A select always executes some clause (or blocks forever).
+		return s.caseClauses(nil, n.Body, st, true)
+	case *ast.LabeledStmt:
+		return s.stmt(n.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: conservatively treat as an exit from this
+		// list; leaks across them are out of scope.
+		return st, true
+	}
+	return st, false
+}
+
+// caseClauses walks each clause from a copy of the entry state and unions
+// the survivors of non-terminated clauses. exhaustive marks a construct
+// where some clause always runs (select); a switch is exhaustive only
+// when it has a default clause.
+func (s *scope) caseClauses(init ast.Stmt, body *ast.BlockStmt, st state, exhaustive bool) (state, bool) {
+	if init != nil {
+		st, _ = s.stmt(init, st)
+	}
+	if len(body.List) == 0 {
+		return st, false
+	}
+	out := make(state)
+	survived := false
+	for _, c := range body.List {
+		var comm ast.Stmt
+		var clauseBody []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				exhaustive = true // default clause
+			}
+			clauseBody = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				exhaustive = true
+			}
+			comm = c.Comm
+			clauseBody = c.Body
+		default:
+			continue
+		}
+		cs := st.clone()
+		term := false
+		if comm != nil {
+			cs, term = s.stmt(comm, cs)
+		}
+		if !term {
+			cs, term = s.stmts(clauseBody, cs)
+		}
+		if !term {
+			out.merge(cs)
+			survived = true
+		}
+	}
+	if !exhaustive {
+		// No clause may match: the entry state flows around the switch.
+		out.merge(st)
+		return out, false
+	}
+	return out, !survived
+}
+
+// declare handles `var x = acquire()`.
+func (s *scope) declare(vs *ast.ValueSpec, st state) {
+	if len(vs.Values) != 1 {
+		return
+	}
+	call, ok := vs.Values[0].(*ast.CallExpr)
+	if !ok || !s.isAcquire(call) {
+		return
+	}
+	s.bindLease(vs.Names[0], call, st)
+}
+
+// assign handles acquisitions, aliasing, and ownership-transferring
+// stores.
+func (s *scope) assign(n *ast.AssignStmt, st state) {
+	// x, ... := acquire(...): the lease is result 0.
+	if len(n.Rhs) == 1 {
+		if call, ok := n.Rhs[0].(*ast.CallExpr); ok && s.isAcquire(call) {
+			s.applyCall(call, st) // arguments first (an acquire could consume a lease)
+			lhs := n.Lhs[0]
+			if id, ok := lhs.(*ast.Ident); ok {
+				s.bindLease(id, call, st)
+			}
+			// Leases assigned to fields (w.script = sj.Script()) transfer
+			// ownership to the structure immediately; nothing to track.
+			return
+		}
+	}
+	for i, rhs := range n.Rhs {
+		// Alias: y := x keeps one record under both names.
+		if id, ok := rhs.(*ast.Ident); ok && i < len(n.Lhs) {
+			if rec, live := st[s.objOf(id)]; live {
+				if lid, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := s.objOf(lid); obj != nil {
+						st[obj] = rec
+					}
+					continue
+				}
+				// Stored into a field/slice/map: ownership transfers.
+				st.discharge(rec)
+				continue
+			}
+		}
+		// A call result borrows its arguments — `err := w.decode(ops)`
+		// must not discharge ops, or the error-path leak it guards
+		// becomes invisible. A release hook inside still discharges.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			s.applyCall(call, st)
+			continue
+		}
+		// Any other rhs shape (composite literal, slice, address-of)
+		// captures the lease into the assigned value: transfer.
+		s.transferExpr(rhs, st)
+	}
+}
+
+// bindLease starts tracking a lease bound to id. Binding over a live
+// lease, or to the blank identifier, is an immediate leak.
+func (s *scope) bindLease(id *ast.Ident, call *ast.CallExpr, st state) {
+	if id.Name == "_" {
+		s.pass.Reportf(call.Pos(),
+			"script lease discarded into the blank identifier; it can never be released")
+		return
+	}
+	obj := s.objOf(id)
+	if obj == nil {
+		return
+	}
+	if old, live := st[obj]; live {
+		s.pass.Reportf(call.Pos(),
+			"script lease overwrites the live lease acquired at %s without releasing it",
+			s.pass.Fset.Position(old.pos))
+		st.discharge(old)
+	}
+	st[obj] = &lease{pos: call.Pos()}
+}
+
+// applyCall discharges leases passed to a release hook and recurses into
+// nested calls. Ordinary calls borrow: they do not discharge.
+func (s *scope) applyCall(call *ast.CallExpr, st state) {
+	if s.isRelease(call) {
+		for _, a := range call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+				if rec, live := st[s.objOf(id)]; live {
+					st.discharge(rec)
+				}
+			}
+		}
+	}
+	for _, a := range call.Args {
+		if inner, ok := ast.Unparen(a).(*ast.CallExpr); ok {
+			s.applyCall(inner, st)
+		}
+	}
+}
+
+// transferArgs discharges any live lease appearing in call's arguments
+// (goroutine handoff).
+func (s *scope) transferArgs(call *ast.CallExpr, st state) {
+	for _, a := range call.Args {
+		s.transferExpr(a, st)
+	}
+}
+
+// transferExpr discharges any live lease identifier appearing anywhere
+// inside e: it escaped into a structure the walker cannot see, so
+// responsibility moved with it.
+func (s *scope) transferExpr(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if rec, live := st[s.objOf(id)]; live {
+			st.discharge(rec)
+		}
+		return true
+	})
+}
+
+func (s *scope) objOf(id *ast.Ident) types.Object {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	return s.pass.ObjectOf(id)
+}
+
+// isAcquire reports whether call acquires a lease: Script() on a static
+// StreamScripted implementer, or an annotated acquire helper.
+func (s *scope) isAcquire(call *ast.CallExpr) bool {
+	callee := s.callee(call)
+	if callee == nil {
+		return false
+	}
+	if s.roles[callee] == analysis.LeaseAcquire {
+		return true
+	}
+	if callee.Name() != "Script" || s.iface == nil {
+		return false
+	}
+	// The static type that matters is the receiver expression's at the
+	// call site, not the method's declared receiver: Script is declared on
+	// the embedded Scripted interface, but only a StreamScripted receiver
+	// carries the release obligation.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := s.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	rt := selection.Recv()
+	return types.Implements(rt, s.iface) || types.Implements(types.NewPointer(rt), s.iface)
+}
+
+// isRelease reports whether call is a release hook.
+func (s *scope) isRelease(call *ast.CallExpr) bool {
+	callee := s.callee(call)
+	if callee == nil {
+		return false
+	}
+	return callee.Name() == "ReleaseScript" || s.roles[callee] == analysis.LeaseRelease
+}
+
+func (s *scope) callee(call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := s.pass.ObjectOf(f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := s.pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package leaseleak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/leaseleak"
+)
+
+func TestLeaseleak(t *testing.T) {
+	analysistest.Run(t, leaseleak.Analyzer,
+		"leasebad",
+		"leasegood",
+	)
+}

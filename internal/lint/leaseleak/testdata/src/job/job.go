@@ -1,0 +1,22 @@
+// Package job mirrors the lease-relevant slice of repro/internal/job so
+// the leaseleak testdata can exercise the StreamScripted recognition
+// without importing the real module.
+package job
+
+// Job is the minimal strand contract.
+type Job interface {
+	Run()
+}
+
+// Scripted returns a borrowed op stream; no release obligation.
+type Scripted interface {
+	Job
+	Script() (ops []byte, lo, hi int64)
+}
+
+// StreamScripted leases its Script bytes from a bounded decode window:
+// every Script call must be paired with a ReleaseScript.
+type StreamScripted interface {
+	Scripted
+	ReleaseScript(ops []byte)
+}

@@ -1,0 +1,71 @@
+// Package leasebad plants lease leaks: the canonical one is a lease
+// forgotten on an early error return — exactly the path integration
+// tests rarely drive.
+package leasebad
+
+import (
+	"errors"
+
+	"job"
+)
+
+type worker struct {
+	sj  job.StreamScripted
+	buf []byte
+}
+
+func (w *worker) decode(ops []byte) error {
+	if len(ops) == 0 {
+		return errors.New("empty script")
+	}
+	return nil
+}
+
+func (w *worker) step(ops []byte, lo int64) {}
+
+// runOnce releases on success but forgets the lease on the error path.
+func (w *worker) runOnce() error {
+	ops, _, _ := w.sj.Script()
+	if err := w.decode(ops); err != nil {
+		return err // want `return without releasing the script lease acquired at`
+	}
+	w.sj.ReleaseScript(ops)
+	return nil
+}
+
+// fallOff leaks by falling off the end of the function: passing the
+// lease to an unannotated helper is a borrow, not a handoff.
+func (w *worker) fallOff() {
+	ops, lo, _ := w.sj.Script()
+	w.step(ops, lo)
+} // want `function returns without releasing the script lease acquired at`
+
+// discard throws the lease away outright; it can never be released.
+func (w *worker) discard() {
+	_, lo, hi := w.sj.Script() // want `script lease discarded into the blank identifier`
+	w.buf = append(w.buf[:0], byte(lo), byte(hi))
+}
+
+// refetch acquires over a live lease without an intervening release.
+func (w *worker) refetch() {
+	ops, _, _ := w.sj.Script()
+	ops, _, _ = w.sj.Script() // want `script lease overwrites the live lease acquired at`
+	w.sj.ReleaseScript(ops)
+}
+
+// fetchWindow is a package-local lease source, marked as such.
+//
+//schedlint:lease acquire
+func (w *worker) fetchWindow() []byte {
+	return w.buf
+}
+
+// leakFetch leaks the annotated lease on one branch.
+func (w *worker) leakFetch(n int) int {
+	buf := w.fetchWindow()
+	if n > 0 {
+		return n // want `return without releasing the script lease acquired at`
+	}
+	w.sj.ReleaseScript(buf)
+	return 0
+}

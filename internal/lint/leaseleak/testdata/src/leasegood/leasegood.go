@@ -1,0 +1,87 @@
+// Package leasegood holds the disciplined lease shapes the analyzer must
+// accept: releases on every path, deferred releases, ownership
+// transfers, and the plain-Scripted borrow that carries no obligation.
+package leasegood
+
+import "job"
+
+type worker struct {
+	sj     job.StreamScripted
+	script []byte
+	lo, hi int64
+	out    chan []byte
+}
+
+func (w *worker) decode(ops []byte) error { return nil }
+
+// runBoth releases on the error path and on the success path.
+func (w *worker) runBoth() error {
+	ops, _, _ := w.sj.Script()
+	if err := w.decode(ops); err != nil {
+		w.sj.ReleaseScript(ops)
+		return err
+	}
+	w.sj.ReleaseScript(ops)
+	return nil
+}
+
+// runDeferred covers every exit with one defer.
+func (w *worker) runDeferred() error {
+	ops, _, _ := w.sj.Script()
+	defer w.sj.ReleaseScript(ops)
+	if len(ops) == 0 {
+		return w.decode(nil)
+	}
+	return w.decode(ops)
+}
+
+// park stores the lease into worker state immediately: ownership moves
+// to the structure (the engine releases at strand completion). This is
+// the inline-interpreter idiom.
+func (w *worker) park() {
+	w.script, w.lo, w.hi = w.sj.Script()
+}
+
+// lease transfers ownership to the caller by returning the buffer.
+func (w *worker) lease() []byte {
+	ops, _, _ := w.sj.Script()
+	return ops
+}
+
+// ship transfers ownership through a channel.
+func (w *worker) ship() {
+	ops, _, _ := w.sj.Script()
+	w.out <- ops
+}
+
+// modes releases in every arm of an exhaustive switch.
+func (w *worker) modes(mode int) {
+	ops, _, _ := w.sj.Script()
+	switch mode {
+	case 0:
+		w.sj.ReleaseScript(ops)
+	default:
+		w.sj.ReleaseScript(ops)
+	}
+}
+
+// fetchWindow and putWindow form an annotated package-local lease pair.
+//
+//schedlint:lease acquire
+func (w *worker) fetchWindow() []byte { return w.script }
+
+//schedlint:lease release
+func (w *worker) putWindow(ops []byte) {}
+
+// cycle pairs the annotated hooks.
+func (w *worker) cycle() {
+	buf := w.fetchWindow()
+	w.putWindow(buf)
+}
+
+// consume borrows from a plain Scripted: no decode window, no release
+// obligation.
+func consume(j job.Scripted) int {
+	ops, _, _ := j.Script()
+	return len(ops)
+}

@@ -16,19 +16,29 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/leaseleak"
 	"repro/internal/lint/load"
+	"repro/internal/lint/mergekey"
 	"repro/internal/lint/nondet"
 	"repro/internal/lint/printerlock"
 	"repro/internal/lint/schedcontract"
+	"repro/internal/lint/simtime"
+	"repro/internal/lint/unusedignore"
 )
 
-// Analyzers returns the full schedlint suite in reporting order.
+// Analyzers returns the full schedlint suite in reporting order. The
+// unusedignore pseudo-analyzer rides last: its presence declares the set
+// complete, which activates the ignore-allowlist audit in analysis.Run.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nondet.Analyzer,
 		hotalloc.Analyzer,
 		schedcontract.Analyzer,
 		printerlock.Analyzer,
+		simtime.Analyzer,
+		leaseleak.Analyzer,
+		mergekey.Analyzer,
+		unusedignore.Analyzer,
 	}
 }
 

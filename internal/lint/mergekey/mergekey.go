@@ -1,0 +1,380 @@
+// Package mergekey implements the "mergekey" analyzer: any sort or merge
+// over cross-machine (or cross-shard) completion records must key on the
+// canonical (end time, machine, tag) tuple, in that order. The
+// coordinator's EWMA and per-tenant latency observers fold completions
+// order-sensitively; DESIGN §8's machine-count-invariance property holds
+// precisely because every gather point re-establishes this one total
+// order before folding. A comparator that keys on arrival index or
+// pointer value instead reintroduces per-run gather order — the class of
+// bug that made multi-socket replays diverge from the single-engine
+// baseline.
+//
+// Scope: packages under internal/cluster and internal/shard (the two
+// places completions cross an engine boundary). A sort call is in scope
+// when its element type is a completion-shaped struct — one declaring
+// both a machine field (mach/machine) and a tag field. For such sorts the
+// analyzer checks, on the comparator literal:
+//
+//   - no comparison on the raw slice indices (per-run gather order);
+//   - no use of unsafe.Pointer (pointer order varies per run);
+//   - the comparison keys, in source order, must start with the end-time
+//     field and include machine before tag.
+//
+// Comparators the analyzer cannot see through (a named function instead
+// of a literal) are skipped: the repository convention is to write gather
+// comparators inline where the invariant is auditable.
+package mergekey
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the mergekey analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "mergekey",
+	Doc: "sorts over cross-machine/cross-shard completions must key on the canonical " +
+		"(end, machine, tag) tuple, never on slice index or pointer order",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.PathHasSegments(path, "internal", "cluster") && !analysis.PathHasSegments(path, "internal", "shard") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkSort(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// sortKind classifies the call: "index" for sort.Slice/SliceStable
+// (comparator receives indices), "elem" for slices.SortFunc/
+// SortStableFunc (comparator receives elements), "" otherwise.
+func sortKind(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		if fn.Name() == "Slice" || fn.Name() == "SliceStable" {
+			return "index"
+		}
+	case "slices":
+		if fn.Name() == "SortFunc" || fn.Name() == "SortStableFunc" {
+			return "elem"
+		}
+	}
+	return ""
+}
+
+func checkSort(pass *analysis.Pass, call *ast.CallExpr) {
+	kind := sortKind(pass, call)
+	if kind == "" || len(call.Args) < 2 {
+		return
+	}
+	elem := sliceElem(pass.TypeOf(call.Args[0]))
+	if elem == nil || !isCompletionStruct(elem) {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+	if !ok {
+		// Named comparator: opaque to this pass; the convention is an
+		// inline literal at the gather point.
+		return
+	}
+	c := &comparator{pass: pass, kind: kind, aliases: make(map[types.Object]int)}
+	for _, f := range lit.Type.Params.List {
+		for _, id := range f.Names {
+			if obj := pass.ObjectOf(id); obj != nil {
+				c.params = append(c.params, obj)
+			}
+		}
+	}
+	if len(c.params) != 2 {
+		return
+	}
+	if kind == "elem" {
+		// The elements themselves are the roots.
+		c.aliases[c.params[0]] = 0
+		c.aliases[c.params[1]] = 1
+	}
+	c.walk(lit.Body)
+
+	if c.unsafeUse.IsValid() {
+		pass.Reportf(c.unsafeUse,
+			"completion comparator orders by pointer value, which varies per run; key on the canonical (end, machine, tag) tuple")
+		return
+	}
+	if c.bareIndex.IsValid() {
+		pass.Reportf(c.bareIndex,
+			"completion comparator orders by slice index, which reflects per-run gather order; key on the canonical (end, machine, tag) tuple")
+		return
+	}
+	c.validateKeys(lit.Pos())
+}
+
+// sliceElem unwraps a slice type to its (possibly pointer-wrapped)
+// element struct.
+func sliceElem(t types.Type) *types.Struct {
+	if t == nil {
+		return nil
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	et := sl.Elem()
+	if p, ok := et.Underlying().(*types.Pointer); ok {
+		et = p.Elem()
+	}
+	st, _ := et.Underlying().(*types.Struct)
+	return st
+}
+
+// isCompletionStruct reports whether st is completion-shaped: it declares
+// both a machine identity field and a tag field.
+func isCompletionStruct(st *types.Struct) bool {
+	var hasMach, hasTag bool
+	for i := 0; i < st.NumFields(); i++ {
+		switch strings.ToLower(st.Field(i).Name()) {
+		case "mach", "machine":
+			hasMach = true
+		case "tag":
+			hasTag = true
+		}
+	}
+	return hasMach && hasTag
+}
+
+// comparator accumulates what one comparator literal keys on.
+type comparator struct {
+	pass   *analysis.Pass
+	kind   string
+	params []types.Object
+	// aliases maps a local to the comparator side (0 or 1) whose element
+	// it denotes: the params themselves for "elem" comparators, and
+	// locals bound as `a, b := s[i], s[j]` for "index" comparators.
+	aliases   map[types.Object]int
+	keys      []string // distinct key paths, in first-comparison order
+	bareIndex token.Pos
+	unsafeUse token.Pos
+}
+
+func (c *comparator) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.recordAliases(n)
+		case *ast.BinaryExpr:
+			c.recordComparison(n)
+		case *ast.SelectorExpr:
+			c.recordUnsafe(n)
+		}
+		return true
+	})
+}
+
+// recordAliases learns `a, b := s[i], s[j]` bindings in index
+// comparators.
+func (c *comparator) recordAliases(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		side, ok := c.root(n.Rhs[i])
+		if !ok {
+			continue
+		}
+		if obj := c.pass.ObjectOf(id); obj != nil {
+			c.aliases[obj] = side
+		}
+	}
+}
+
+func (c *comparator) recordUnsafe(sel *ast.SelectorExpr) {
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "unsafe" && sel.Sel.Name == "Pointer" {
+		if !c.unsafeUse.IsValid() {
+			c.unsafeUse = sel.Pos()
+		}
+	}
+}
+
+var comparisonOps = map[token.Token]bool{
+	token.LSS: true, token.GTR: true, token.LEQ: true,
+	token.GEQ: true, token.EQL: true, token.NEQ: true,
+}
+
+// recordComparison classifies one binary comparison: a key comparison
+// (same field path on both sides, different sides) contributes a key; a
+// comparison of the raw indices is the bare-index defect.
+func (c *comparator) recordComparison(n *ast.BinaryExpr) {
+	if !comparisonOps[n.Op] {
+		return
+	}
+	if c.kind == "index" && c.isParam(n.X) && c.isParam(n.Y) {
+		if !c.bareIndex.IsValid() {
+			c.bareIndex = n.Pos()
+		}
+		return
+	}
+	sideX, pathX, okX := c.keyPath(n.X)
+	sideY, pathY, okY := c.keyPath(n.Y)
+	if !okX || !okY || sideX == sideY || pathX != pathY {
+		return
+	}
+	for _, k := range c.keys {
+		if k == pathX {
+			return
+		}
+	}
+	c.keys = append(c.keys, pathX)
+}
+
+// isParam reports whether e is (exactly) one of the comparator's own
+// parameters.
+func (c *comparator) isParam(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.ObjectOf(id)
+	for _, p := range c.params {
+		if obj == p {
+			return true
+		}
+	}
+	return false
+}
+
+// keyPath resolves e to (side, field path) when e is a chain of field
+// selections rooted at one comparator side. `a.stats.End` with a aliased
+// to side 0 yields (0, "stats.End").
+func (c *comparator) keyPath(e ast.Expr) (side int, path string, ok bool) {
+	var fields []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			fields = append([]string{x.Sel.Name}, fields...)
+			e = x.X
+		case *ast.CallExpr:
+			// Allow a conversion or accessor wrapper around the key:
+			// int64(a.stats.End), a.End().
+			if len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			if len(x.Args) == 0 {
+				e = x.Fun
+				continue
+			}
+			return 0, "", false
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			side, ok = c.root(e)
+			if !ok || len(fields) == 0 {
+				return 0, "", false
+			}
+			return side, strings.Join(fields, "."), true
+		}
+	}
+}
+
+// root resolves the base of a key expression to a comparator side: an
+// aliased local, or (index kind) an index expression s[i] whose index is
+// a comparator parameter.
+func (c *comparator) root(e ast.Expr) (int, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if side, ok := c.aliases[c.pass.ObjectOf(x)]; ok {
+			return side, true
+		}
+	case *ast.IndexExpr:
+		if c.kind != "index" {
+			return 0, false
+		}
+		id, ok := ast.Unparen(x.Index).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		obj := c.pass.ObjectOf(id)
+		for side, p := range c.params {
+			if obj == p {
+				return side, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// validateKeys enforces canonical (end, machine, tag) ordering over the
+// extracted key list.
+func (c *comparator) validateKeys(pos token.Pos) {
+	classify := func(path string) string {
+		segs := strings.Split(path, ".")
+		switch strings.ToLower(segs[len(segs)-1]) {
+		case "end":
+			return "end"
+		case "mach", "machine":
+			return "machine"
+		case "tag":
+			return "tag"
+		}
+		return ""
+	}
+	idx := map[string]int{}
+	for i, k := range c.keys {
+		cl := classify(k)
+		if cl == "" {
+			continue
+		}
+		if _, seen := idx[cl]; !seen {
+			idx[cl] = i
+		}
+	}
+	if len(c.keys) == 0 {
+		c.pass.Reportf(pos,
+			"completion comparator compares no completion fields; key on the canonical (end, machine, tag) tuple")
+		return
+	}
+	for _, want := range []string{"end", "machine", "tag"} {
+		if _, ok := idx[want]; !ok {
+			c.pass.Reportf(pos,
+				"completion sort omits the %s key; the canonical merge order is the full (end, machine, tag) tuple — a partial key leaves ties in per-run gather order",
+				want)
+			return
+		}
+	}
+	if classify(c.keys[0]) != "end" {
+		c.pass.Reportf(pos,
+			"completion sort keys on %s before end time; the canonical merge order (end, machine, tag) compares end first",
+			c.keys[0])
+		return
+	}
+	if idx["tag"] < idx["machine"] {
+		c.pass.Reportf(pos,
+			"completion sort keys on tag before machine; the canonical merge order is (end, machine, tag)")
+	}
+}

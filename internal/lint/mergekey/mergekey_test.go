@@ -1,0 +1,15 @@
+package mergekey_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/mergekey"
+)
+
+func TestMergekey(t *testing.T) {
+	analysistest.Run(t, mergekey.Analyzer,
+		"m/internal/cluster/bad",
+		"m/internal/cluster/good",
+	)
+}

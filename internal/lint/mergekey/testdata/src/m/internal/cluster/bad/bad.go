@@ -1,0 +1,85 @@
+// Package bad plants every merge-discipline defect: index order,
+// pointer order, and partial or permuted canonical keys.
+package bad
+
+import (
+	"slices"
+	"sort"
+	"unsafe"
+)
+
+type stats struct{ End int64 }
+
+type completion struct {
+	stats stats
+	mach  int
+	tag   uint64
+}
+
+// sortByIndex keeps per-run gather order.
+func sortByIndex(comps []completion) {
+	sort.Slice(comps, func(i, j int) bool {
+		return i < j // want `orders by slice index`
+	})
+}
+
+// sortByPointer orders by address, which varies per run.
+func sortByPointer(comps []*completion) {
+	sort.Slice(comps, func(i, j int) bool {
+		return uintptr(unsafe.Pointer(comps[i])) < uintptr(unsafe.Pointer(comps[j])) // want `orders by pointer value`
+	})
+}
+
+// sortMissingTag leaves (end, mach) ties in gather order.
+func sortMissingTag(comps []completion) {
+	sort.Slice(comps, func(i, j int) bool { // want `omits the tag key`
+		if comps[i].stats.End != comps[j].stats.End {
+			return comps[i].stats.End < comps[j].stats.End
+		}
+		return comps[i].mach < comps[j].mach
+	})
+}
+
+// sortTagFirst breaks ties on tag before machine.
+func sortTagFirst(comps []completion) {
+	sort.Slice(comps, func(i, j int) bool { // want `keys on tag before machine`
+		a, b := comps[i], comps[j]
+		if a.stats.End != b.stats.End {
+			return a.stats.End < b.stats.End
+		}
+		if a.tag != b.tag {
+			return a.tag < b.tag
+		}
+		return a.mach < b.mach
+	})
+}
+
+// sortMachFirst compares machine identity before end time.
+func sortMachFirst(comps []completion) {
+	sort.Slice(comps, func(i, j int) bool { // want `keys on mach before end time`
+		a, b := comps[i], comps[j]
+		if a.mach != b.mach {
+			return a.mach < b.mach
+		}
+		if a.stats.End != b.stats.End {
+			return a.stats.End < b.stats.End
+		}
+		return a.tag < b.tag
+	})
+}
+
+// mergeWindows is the slices.SortFunc form, missing the machine key.
+func mergeWindows(comps []completion) {
+	slices.SortFunc(comps, func(a, b completion) int { // want `omits the machine key`
+		if a.stats.End != b.stats.End {
+			if a.stats.End < b.stats.End {
+				return -1
+			}
+			return 1
+		}
+		if a.tag < b.tag {
+			return -1
+		}
+		return 0
+	})
+}

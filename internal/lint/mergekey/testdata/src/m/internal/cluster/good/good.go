@@ -1,0 +1,58 @@
+// Package good holds the canonical completion orders the analyzer must
+// accept, and the out-of-scope sorts it must leave alone.
+package good
+
+import (
+	"slices"
+	"sort"
+)
+
+type stats struct{ End int64 }
+
+type completion struct {
+	stats stats
+	mach  int
+	tag   uint64
+}
+
+// apply mirrors the coordinator's gather: the full (end, machine, tag)
+// tuple, end first.
+func apply(comps []completion) {
+	sort.Slice(comps, func(i, j int) bool {
+		a, b := comps[i], comps[j]
+		if a.stats.End != b.stats.End {
+			return a.stats.End < b.stats.End
+		}
+		if a.mach != b.mach {
+			return a.mach < b.mach
+		}
+		return a.tag < b.tag
+	})
+}
+
+// merge is the slices form of the same order.
+func merge(comps []completion) {
+	slices.SortFunc(comps, func(a, b completion) int {
+		if a.stats.End != b.stats.End {
+			if a.stats.End < b.stats.End {
+				return -1
+			}
+			return 1
+		}
+		if a.mach != b.mach {
+			return a.mach - b.mach
+		}
+		if a.tag != b.tag {
+			if a.tag < b.tag {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+}
+
+// order sorts plain ints: not completion-shaped, out of scope.
+func order(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

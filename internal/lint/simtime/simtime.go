@@ -1,0 +1,225 @@
+// Package simtime implements the "simtime" analyzer: scheduler decisions
+// must be functions of simulated time and simulated state only. Where the
+// nondeterminism analyzer rejects wall-clock *calls* syntactically,
+// simtime proves the dataflow property the paper's methodology — and the
+// Cole–Ramachandran/Gu–Napier–Sun analyses it builds on — actually
+// assumes: no value that *derives* from a wall-clock read, an environment
+// or host-OS query, an unseeded global generator, or map-iteration order
+// ever reaches a scheduling, routing, autoscaling or admission decision.
+//
+// Decision points are recognized two ways:
+//
+//   - the //schedlint:decision directive on a function declaration (the
+//     audited sites in internal/sched, internal/cluster and internal/serve
+//     carry it);
+//   - structurally, so an unannotated new implementation is still caught:
+//     a method named Pick or evaluate in internal/cluster, Get in
+//     internal/sched, or Admit in internal/serve.
+//
+// Two report shapes come out of the taint layer (internal/lint/taint):
+//
+//   - inside a decision function, any use of a source-derived value —
+//     returned, assigned, tested in a condition, or passed onward;
+//   - at any call site anywhere in the module, a source-derived argument
+//     passed into a decision function (taint crosses function boundaries
+//     through package-fixpoint summaries, so laundering a wall-clock read
+//     through a helper — or through another package of this repository —
+//     does not hide it).
+//
+// Every finding carries its derivation chain; the driver's -json mode
+// prints it as a machine-readable taint trace.
+package simtime
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/taint"
+)
+
+// Analyzer is the simtime analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "reject dataflow from wall clocks, env/OS reads, unseeded generators and map-iteration " +
+		"order into scheduler/routing/autoscaling/admission decisions (//schedlint:decision)",
+	Run: run,
+}
+
+// builtinDecision recognizes the repository's structural decision points,
+// so a new Router.Pick or Scheduler.Get implementation is in scope before
+// anyone remembers to annotate it. It also classifies interface methods,
+// which carry no body to annotate.
+func builtinDecision(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path, name := pkg.Path(), fn.Name()
+	switch {
+	case analysis.PathHasSegments(path, "internal", "cluster") && (name == "Pick" || name == "evaluate"):
+		return true
+	case analysis.PathHasSegments(path, "internal", "sched") && name == "Get":
+		return true
+	case analysis.PathHasSegments(path, "internal", "serve") && name == "Admit":
+		return true
+	}
+	return false
+}
+
+func isDecision(fn *ast.FuncDecl, obj *types.Func) bool {
+	return analysis.IsDecision(fn) || builtinDecision(obj)
+}
+
+func run(pass *analysis.Pass) error {
+	pt := taint.Package(pass, taint.Options{IsDecision: isDecision})
+	for _, ft := range pt.Funcs() {
+		r := &reporter{pass: pass, pt: pt, ft: ft}
+		if ft.Decision() {
+			r.checkDecisionBody()
+		}
+		r.checkDecisionCalls()
+		r.flush()
+	}
+	return nil
+}
+
+// Summarize computes and registers taint summaries (including decision
+// classification) for one package without reporting anything. The vet
+// driver uses it for facts-only (VetxOnly) dependency passes, where
+// cmd/go wants the package's exported facts but no diagnostics.
+func Summarize(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) {
+	pass := &analysis.Pass{
+		Analyzer:  Analyzer,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(analysis.Diagnostic) {},
+	}
+	taint.Package(pass, taint.Options{IsDecision: isDecision})
+}
+
+// reporter accumulates candidate findings for one function and emits one
+// per distinct source, at its earliest use — a tainted local used five
+// times is one defect, not five.
+type reporter struct {
+	pass *analysis.Pass
+	pt   *taint.PkgTaint
+	ft   *taint.FuncTaint
+	cand []candidate
+}
+
+type candidate struct {
+	pos  token.Pos
+	step *taint.Step
+	msg  string
+}
+
+func (r *reporter) add(pos token.Pos, step *taint.Step, msg string) {
+	r.cand = append(r.cand, candidate{pos: pos, step: step, msg: msg})
+}
+
+// flush emits the earliest candidate per source root. Roots are keyed by
+// (position, description) rather than identity: the evaluator mints
+// fresh step chains per evaluation, but a given source call site always
+// describes itself the same way.
+func (r *reporter) flush() {
+	sort.SliceStable(r.cand, func(i, j int) bool { return r.cand[i].pos < r.cand[j].pos })
+	type rootKey struct {
+		pos  token.Pos
+		desc string
+	}
+	seen := make(map[rootKey]bool)
+	for _, c := range r.cand {
+		root := c.step.Root()
+		key := rootKey{root.Pos, root.Desc}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		r.pass.Report(analysis.Diagnostic{
+			Pos:     c.pos,
+			Message: c.msg,
+			Trace:   c.step.Trace(r.pass.Fset),
+		})
+	}
+}
+
+// checkDecisionBody flags every use of a source-derived value inside a
+// decision function: returns, assignments, conditions, and arguments of
+// outgoing calls.
+func (r *reporter) checkDecisionBody() {
+	name := r.ft.Obj.Name()
+	use := func(e ast.Expr, how string) {
+		if e == nil {
+			return
+		}
+		if step := r.ft.Eval(e); step != nil {
+			r.add(e.Pos(), step, fmt.Sprintf(
+				"decision %s: %s derives from %s; scheduler decisions must be pure functions of simulated state",
+				name, how, step.Root().Desc))
+		}
+	}
+	ast.Inspect(r.ft.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				use(e, "returned value")
+			}
+		case *ast.AssignStmt:
+			for _, e := range n.Rhs {
+				use(e, "assigned value")
+			}
+		case *ast.IfStmt:
+			use(n.Cond, "branch condition")
+		case *ast.ForStmt:
+			use(n.Cond, "loop condition")
+		case *ast.SwitchStmt:
+			use(n.Tag, "switch value")
+		case *ast.CallExpr:
+			for _, e := range n.Args {
+				use(e, "call argument")
+			}
+		case *ast.RangeStmt:
+			use(n.X, "ranged value")
+		}
+		return true
+	})
+}
+
+// checkDecisionCalls flags source-derived arguments flowing into calls of
+// decision functions, from any function in the package.
+func (r *reporter) checkDecisionCalls() {
+	ast.Inspect(r.ft.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := taint.CalleeFunc(r.pass, call)
+		if callee == nil || !r.calleeIsDecision(callee) {
+			return true
+		}
+		for i, a := range call.Args {
+			if step := r.ft.Eval(a); step != nil {
+				r.add(a.Pos(), step, fmt.Sprintf(
+					"argument %d of decision %s derives from %s; scheduler decisions must see simulated state only",
+					i+1, callee.Name(), step.Root().Desc))
+			}
+		}
+		return true
+	})
+}
+
+func (r *reporter) calleeIsDecision(callee *types.Func) bool {
+	if builtinDecision(callee) {
+		return true
+	}
+	if sum := r.pt.Summary(callee); sum != nil {
+		return sum.Decision
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/simtime"
+)
+
+// TestSimtime lists a/lib before its consumers: the harness analyzes
+// packages in argument order, so the helper package's taint summaries
+// are registered before the cluster package that launders sources
+// through them — the same dependency-order guarantee the standalone
+// loader provides for the real module.
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer,
+		"a/lib",
+		"a/internal/sched/bad",
+		"a/internal/sched/good",
+		"a/internal/cluster/bad",
+	)
+}

@@ -1,0 +1,71 @@
+// Package bad exercises the annotated-decision side of simtime: env
+// reads arriving through another package's helper, map-iteration order,
+// the unseeded global generator, and a tainted argument passed into a
+// decision from non-decision code.
+package bad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"a/lib"
+)
+
+type router struct {
+	last int
+}
+
+// route must not be steered by a host environment knob, even one read in
+// a different package.
+//
+//schedlint:decision
+func (r *router) route(load []int) int {
+	if lib.Knob() != "" { // want `decision route: branch condition derives from the result of Knob, which derives from environment read os\.Getenv`
+		return 0
+	}
+	best := 0
+	for i, l := range load {
+		if l < load[best] {
+			best = i
+		}
+	}
+	r.last = best
+	return best
+}
+
+// pickVictim leaks map-iteration order — randomized per run — into its
+// result.
+//
+//schedlint:decision
+func pickVictim(qs map[int]int) int {
+	for w := range qs {
+		return w // want `decision pickVictim: returned value derives from map iteration order \(randomized per run\) over qs`
+	}
+	return -1
+}
+
+// jitterPick draws from the shared unseeded generator.
+//
+//schedlint:decision
+func jitterPick(n int) int {
+	return rand.Intn(n) // want `decision jitterPick: returned value derives from unseeded global generator math/rand\.Intn`
+}
+
+// budget launders a host identity read through a pure cross-package
+// helper; ParamFlow summaries carry the taint through Clamp.
+//
+//schedlint:decision
+func budget(limit int) int {
+	w := lib.Clamp(hostPort(), 0, limit) // want `decision budget: assigned value derives from the result of hostPort, which derives from host identity os\.Getpid`
+	return w
+}
+
+func hostPort() int { return os.Getpid() }
+
+// feed is not a decision itself, but it hands a wall-clock-derived
+// argument to one.
+func feed(r *router, base time.Duration) int {
+	d := time.Since(time.Unix(0, 0)) - base
+	return r.route([]int{int(d)}) // want `argument 1 of decision route derives from wall-clock read time\.Since`
+}

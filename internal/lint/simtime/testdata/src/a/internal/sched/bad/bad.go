@@ -1,0 +1,25 @@
+// Package bad plants a wall-clock-derived scheduler decision: the clock
+// read is laundered through a helper so a syntactic scan of Get comes up
+// empty, and only dataflow catches it.
+package bad
+
+import "time"
+
+type sched struct {
+	q []int
+}
+
+// hostSkew hides the clock read one call away from the decision.
+func hostSkew() int64 {
+	return time.Now().UnixNano()
+}
+
+// Get is a structural decision point (a Get method under internal/sched)
+// and needs no annotation to be in scope.
+func (s *sched) Get(worker int) int {
+	skew := hostSkew() // want `decision Get: assigned value derives from the result of hostSkew, which derives from wall-clock read time\.Now`
+	if int(skew)%2 == 0 {
+		return s.q[0]
+	}
+	return s.q[len(s.q)-1]
+}

@@ -1,0 +1,38 @@
+// Package good holds decision points that are pure functions of
+// simulated state, plus wall-clock reads that never reach a decision:
+// simtime must stay silent on all of it.
+package good
+
+import "time"
+
+// rng is an explicitly seeded deterministic generator: drawing from it
+// inside a decision is fine.
+type rng struct{ state uint64 }
+
+func (r *rng) next(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int(r.state>>33) % n
+}
+
+type sched struct {
+	q []int
+	r *rng
+}
+
+// Get decides from the queue and the seeded generator only.
+func (s *sched) Get(worker int) int {
+	if len(s.q) == 0 {
+		return -1
+	}
+	return s.q[s.r.next(len(s.q))]
+}
+
+// stamp may read the wall clock freely: its result feeds a log line,
+// never a decision.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// report formats the log line; not a decision, so the tainted stamp is
+// allowed to flow here.
+func report() string {
+	return time.Unix(0, stamp()).String()
+}

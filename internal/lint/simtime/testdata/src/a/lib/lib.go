@@ -1,0 +1,21 @@
+// Package lib is a cross-package helper fixture: simtime must see
+// through these functions via their taint summaries when another
+// testdata package calls them.
+package lib
+
+import "os"
+
+// Knob reads a host environment variable. Calling it is fine; feeding
+// the result into a scheduler decision is the bug.
+func Knob() string { return os.Getenv("SCHED_KNOB") }
+
+// Clamp is a pure pass-through: taint in, taint out, nothing introduced.
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,334 @@
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// This file is the intraprocedural half of the engine: a flow-insensitive
+// abstract evaluator over expressions and an assignment walker iterated
+// to a fixpoint by PkgTaint.analyze.
+//
+// Conventions:
+//   - Variable taint lives in ft.env, keyed by types.Object; formals are
+//     implicit (their bit is materialized at identifier lookup) so a
+//     reassigned parameter joins both.
+//   - Stores through a selector, index or dereference taint the root
+//     object being stored into (coarse object granularity: one tainted
+//     field taints the whole struct). This overapproximates, which is the
+//     right direction for a reject-listing analysis.
+//   - Function literal bodies are walked with the enclosing environment,
+//     so captured variables propagate naturally; a literal's return
+//     statements do not contribute to the enclosing function's summary.
+
+// walkBody applies every assignment-like construct in ft's body once.
+func (p *PkgTaint) walkBody(ft *FuncTaint) {
+	ast.Inspect(ft.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			p.walkAssign(ft, n)
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				p.walkTuple(ft, identTargets(vs.Names), vs.Values, vs.Pos())
+			}
+		case *ast.RangeStmt:
+			p.walkRange(ft, n)
+		case *ast.SendStmt:
+			// ch <- v taints the channel object.
+			p.assignTo(ft, n.Chan, p.eval(ft, n.Value), n.Arrow)
+		}
+		return true
+	})
+}
+
+func identTargets(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+// walkTuple assigns rhs values to lhs targets, handling the one-call
+// multi-target form.
+func (p *PkgTaint) walkTuple(ft *FuncTaint, lhs []ast.Expr, rhs []ast.Expr, pos token.Pos) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		v := p.eval(ft, rhs[0])
+		for _, l := range lhs {
+			p.assignTo(ft, l, v, pos)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		p.assignTo(ft, l, p.eval(ft, rhs[i]), pos)
+	}
+}
+
+// walkAssign handles = and := (including tuple forms) and op-assignments.
+func (p *PkgTaint) walkAssign(ft *FuncTaint, n *ast.AssignStmt) {
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		// x, y := f()  /  x, ok := m[k]  /  v, ok := x.(T)
+		v := p.eval(ft, n.Rhs[0])
+		for _, lhs := range n.Lhs {
+			p.assignTo(ft, lhs, v, n.TokPos)
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		v := p.eval(ft, n.Rhs[i])
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			// x += e joins the old value implicitly (env only grows).
+			v = join(v, p.eval(ft, lhs))
+		}
+		p.assignTo(ft, lhs, v, n.TokPos)
+	}
+}
+
+// walkRange taints the iteration variables: from the ranged value, and —
+// the point of the exercise — from map-iteration order when the ranged
+// value is a map, whatever its own taint.
+func (p *PkgTaint) walkRange(ft *FuncTaint, n *ast.RangeStmt) {
+	v := p.eval(ft, n.X)
+	if t := p.pass.TypeOf(n.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			v = join(v, val{src: &Step{
+				Desc: "map iteration order (randomized per run) over " + types.ExprString(n.X),
+				Pos:  n.Pos(),
+			}})
+		}
+	}
+	if n.Key != nil {
+		p.assignTo(ft, n.Key, v, n.Pos())
+	}
+	if n.Value != nil {
+		p.assignTo(ft, n.Value, v, n.Pos())
+	}
+}
+
+// assignTo merges v into the object behind lhs. Simple identifiers bind
+// directly; selector/index/star targets taint their root object.
+func (p *PkgTaint) assignTo(ft *FuncTaint, lhs ast.Expr, v val, pos token.Pos) {
+	if !v.tainted() {
+		return
+	}
+	obj := p.rootObj(lhs)
+	if obj == nil {
+		return
+	}
+	old, ok := ft.env[obj]
+	merged := join(old, v)
+	if ok && merged.src == old.src && merged.params == old.params {
+		return
+	}
+	if v.src != nil && old.src == nil {
+		merged.src = &Step{Desc: "flows into " + obj.Name(), Pos: pos, Prev: v.src}
+	} else {
+		merged.src = old.src
+		if old.src == nil {
+			merged.src = v.src
+		}
+	}
+	ft.env[obj] = merged
+	p.changed = true
+}
+
+// rootObj walks to the base identifier of an lvalue chain.
+func (p *PkgTaint) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			return p.pass.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// eval computes the abstract value of e in ft's current environment.
+func (p *PkgTaint) eval(ft *FuncTaint, e ast.Expr) val {
+	switch e := e.(type) {
+	case *ast.Ident:
+		var out val
+		if obj := p.pass.ObjectOf(e); obj != nil {
+			if bit, ok := ft.formals[obj]; ok {
+				out.params |= 1 << uint(bit)
+			}
+			out = join(out, ft.env[obj])
+		}
+		return out
+	case *ast.SelectorExpr:
+		if sel, ok := p.pass.TypesInfo.Selections[e]; ok {
+			if sel.Kind() == types.FieldVal {
+				return p.eval(ft, e.X) // field read of a tainted value
+			}
+			return val{} // method value; handled at the call
+		}
+		return val{} // qualified identifier (pkg.X)
+	case *ast.CallExpr:
+		return p.evalCall(ft, e)
+	case *ast.BinaryExpr:
+		return join(p.eval(ft, e.X), p.eval(ft, e.Y))
+	case *ast.UnaryExpr:
+		return p.eval(ft, e.X)
+	case *ast.ParenExpr:
+		return p.eval(ft, e.X)
+	case *ast.StarExpr:
+		return p.eval(ft, e.X)
+	case *ast.TypeAssertExpr:
+		return p.eval(ft, e.X)
+	case *ast.IndexExpr:
+		return join(p.eval(ft, e.X), p.eval(ft, e.Index))
+	case *ast.IndexListExpr:
+		return p.eval(ft, e.X)
+	case *ast.SliceExpr:
+		out := p.eval(ft, e.X)
+		for _, ix := range []ast.Expr{e.Low, e.High, e.Max} {
+			if ix != nil {
+				out = join(out, p.eval(ft, ix))
+			}
+		}
+		return out
+	case *ast.CompositeLit:
+		var out val
+		for _, el := range e.Elts {
+			out = join(out, p.eval(ft, el))
+		}
+		return out
+	case *ast.KeyValueExpr:
+		return join(p.eval(ft, e.Key), p.eval(ft, e.Value))
+	default:
+		// BasicLit, FuncLit, type expressions.
+		return val{}
+	}
+}
+
+// evalCall folds a call through source knowledge, summaries, or the
+// conservative propagate-through default.
+func (p *PkgTaint) evalCall(ft *FuncTaint, call *ast.CallExpr) val {
+	// Type conversions propagate their operand.
+	if tv, ok := p.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return p.eval(ft, call.Args[0])
+		}
+		return val{}
+	}
+
+	callee := CalleeFunc(p.pass, call)
+	var recv ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := p.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recv = sel.X
+		}
+	}
+
+	if callee != nil {
+		if desc, ok := sourceOf(callee); ok {
+			return val{src: &Step{Desc: desc, Pos: call.Pos()}}
+		}
+		if sum := p.Summary(callee); sum != nil {
+			return p.applySummary(ft, call, callee, recv, sum)
+		}
+	}
+
+	// Unknown callee (builtin, interface method without a decision
+	// summary, stdlib helper, function value): propagate through.
+	var out val
+	if recv != nil {
+		out = join(out, p.eval(ft, recv))
+	}
+	for _, a := range call.Args {
+		out = join(out, p.eval(ft, a))
+	}
+	if out.src != nil {
+		name := types.ExprString(call.Fun)
+		out.src = &Step{Desc: "passes through call to " + name, Pos: call.Pos(), Prev: out.src}
+	}
+	return out
+}
+
+// applySummary maps caller arguments onto the callee's formal bits.
+func (p *PkgTaint) applySummary(ft *FuncTaint, call *ast.CallExpr, callee *types.Func, recv ast.Expr, sum *Summary) val {
+	var out val
+	if sum.Sourced {
+		out.src = &Step{
+			Desc: "the result of " + callee.Name() + ", which derives from " + sum.Source,
+			Pos:  call.Pos(),
+		}
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	nformals := 0
+	offset := 0
+	if sig != nil {
+		nformals = sig.Params().Len()
+		if sig.Recv() != nil {
+			offset = 1
+		}
+	}
+	flows := func(bit int, arg ast.Expr) {
+		if bit > 63 {
+			bit = 63
+		}
+		if sum.ParamFlow&(1<<uint(bit)) == 0 {
+			return
+		}
+		v := p.eval(ft, arg)
+		if v.params != 0 {
+			out.params |= v.params
+		}
+		if v.src != nil && out.src == nil {
+			out.src = &Step{Desc: "flows through " + callee.Name(), Pos: call.Pos(), Prev: v.src}
+		}
+	}
+	if recv != nil {
+		flows(0, recv)
+	}
+	for i, a := range call.Args {
+		bit := i + offset
+		if nformals > 0 && i >= nformals { // variadic overflow
+			bit = nformals - 1 + offset
+		}
+		flows(bit, a)
+	}
+	return out
+}
+
+// CalleeFunc resolves the static *types.Func a call invokes, or nil for
+// builtins, function values and conversions.
+func CalleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.ObjectOf(f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

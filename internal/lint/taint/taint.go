@@ -1,0 +1,408 @@
+// Package taint is the dataflow layer under the simtime analyzer: a
+// function-level taint analysis, built only on the standard library, that
+// proves whether a value *derives* from a source of run-to-run
+// nondeterminism — a wall-clock read, an environment or host-OS query, an
+// unseeded global generator, or map-iteration order — rather than merely
+// whether such a call appears syntactically (the nondeterminism analyzer
+// already does that).
+//
+// The lattice is deliberately small. Each value carries
+//
+//   - a source step chain (*Step): non-nil when the value derives from a
+//     nondeterminism source, recording how — every assignment and call
+//     crossing appends a step, so a finding can print its full derivation;
+//   - a formal-parameter bitmask: which of the enclosing function's
+//     parameters (receiver = bit 0) flow into the value.
+//
+// Joins are unions; the analysis is intraprocedural and flow-insensitive
+// (assignments are iterated to a fixpoint, so ordering within a function
+// body is ignored — sound for a reject-listing analysis, and simple
+// enough to stay obviously correct).
+//
+// Taint crosses function boundaries through per-function summaries,
+// computed to a fixpoint over each package: a Summary records whether a
+// function's results derive from a source regardless of its arguments
+// (Sourced), which parameters flow through to its results (ParamFlow),
+// and whether the function is a scheduler decision point. Summaries are
+// registered in a process-global Store keyed by *types.Func, so in the
+// standalone driver — which type-checks the module in dependency order —
+// taint propagates across package boundaries within the repository. Under
+// `go vet -vettool`, where every package is a separate process, summaries
+// serialize to the vet facts (vetx) files: see Store.Preload and
+// Store.Export.
+//
+// Calls with no summary and no source entry propagate conservatively:
+// any tainted argument (or receiver) taints the result. That errs toward
+// reporting — acceptable because sources are rare and every finding
+// carries its derivation for a human to judge.
+package taint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+
+	"repro/internal/lint/analysis"
+)
+
+// Step is one link in a taint derivation chain, innermost (the source)
+// reachable by following Prev.
+type Step struct {
+	Desc string
+	Pos  token.Pos
+	Prev *Step
+}
+
+// Root returns the chain's innermost step — the originating source.
+func (s *Step) Root() *Step {
+	for s.Prev != nil {
+		s = s.Prev
+	}
+	return s
+}
+
+// Trace renders the chain as strings, source first, using fset for
+// positions.
+func (s *Step) Trace(fset *token.FileSet) []string {
+	var chain []*Step
+	for st := s; st != nil; st = st.Prev {
+		chain = append(chain, st)
+	}
+	out := make([]string, 0, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		st := chain[i]
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(st.Pos), st.Desc))
+	}
+	return out
+}
+
+// val is the abstract value of one expression or variable.
+type val struct {
+	src    *Step  // non-nil: derives from a nondeterminism source
+	params uint64 // formals flowing here (receiver = bit 0)
+}
+
+func (v val) tainted() bool { return v.src != nil || v.params != 0 }
+
+func join(a, b val) val {
+	if a.src == nil {
+		a.src = b.src
+	}
+	a.params |= b.params
+	return a
+}
+
+// Summary is the interprocedural abstraction of one function.
+type Summary struct {
+	// Decision marks a scheduler decision point (annotated
+	// //schedlint:decision or recognized structurally by simtime).
+	Decision bool `json:"decision,omitempty"`
+	// Sourced: some result derives from a nondeterminism source no matter
+	// the arguments; Source describes the originating source.
+	Sourced bool   `json:"sourced,omitempty"`
+	Source  string `json:"source,omitempty"`
+	// ParamFlow: bitmask of formals (receiver = bit 0) that flow into at
+	// least one result.
+	ParamFlow uint64 `json:"paramflow,omitempty"`
+}
+
+func (s *Summary) equal(o *Summary) bool {
+	return s.Decision == o.Decision && s.Sourced == o.Sourced &&
+		s.Source == o.Source && s.ParamFlow == o.ParamFlow
+}
+
+// Store holds function summaries. The in-process map is keyed by the
+// type-checker's *types.Func objects — collision-free across repeated
+// loads because each load mints fresh objects. Preloaded summaries
+// (deserialized from vetx files under go vet, where dependency packages
+// were analyzed by other processes) are keyed by package path and
+// types.Func.FullName.
+type Store struct {
+	mu    sync.Mutex
+	funcs map[*types.Func]*Summary
+	pre   map[string]map[string]*Summary
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		funcs: make(map[*types.Func]*Summary),
+		pre:   make(map[string]map[string]*Summary),
+	}
+}
+
+// Global is the store the analyzers share.
+var Global = NewStore()
+
+// Lookup returns the summary for fn, consulting in-process results first
+// and preloaded vetx summaries second. A nil return means unknown.
+func (st *Store) Lookup(fn *types.Func) *Summary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok := st.funcs[fn]; ok {
+		return s
+	}
+	if fn.Pkg() != nil {
+		if m, ok := st.pre[fn.Pkg().Path()]; ok {
+			return m[fn.FullName()]
+		}
+	}
+	return nil
+}
+
+func (st *Store) put(fn *types.Func, s *Summary) {
+	st.mu.Lock()
+	st.funcs[fn] = s
+	st.mu.Unlock()
+}
+
+// Preload registers summaries for pkgPath deserialized from a vetx file.
+// Unparseable data is ignored: an empty or foreign facts file simply
+// contributes no summaries, and the analysis stays conservative.
+func (st *Store) Preload(pkgPath string, data []byte) {
+	var m map[string]*Summary
+	if err := json.Unmarshal(data, &m); err != nil || len(m) == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.pre[pkgPath] = m
+	st.mu.Unlock()
+}
+
+// Export serializes every summary belonging to pkg as JSON, for the vetx
+// facts file. The map marshals with sorted keys, so output is
+// deterministic.
+func (st *Store) Export(pkg *types.Package) ([]byte, error) {
+	st.mu.Lock()
+	out := make(map[string]*Summary)
+	for fn, s := range st.funcs {
+		if fn.Pkg() == pkg {
+			out[fn.FullName()] = s
+		}
+	}
+	st.mu.Unlock()
+	return json.Marshal(out)
+}
+
+// --- sources ---------------------------------------------------------------
+
+// callSources maps "pkgpath.FuncName" of niladic-receiver stdlib calls to
+// the source description reported in findings.
+var callSources = map[string]string{
+	"time.Now":           "wall-clock read time.Now",
+	"time.Since":         "wall-clock read time.Since",
+	"time.Until":         "wall-clock read time.Until",
+	"os.Getenv":          "environment read os.Getenv",
+	"os.LookupEnv":       "environment read os.LookupEnv",
+	"os.Environ":         "environment read os.Environ",
+	"os.Hostname":        "host identity os.Hostname",
+	"os.Getpid":          "host identity os.Getpid",
+	"os.Getppid":         "host identity os.Getppid",
+	"runtime.NumCPU":     "host topology runtime.NumCPU",
+	"runtime.GOMAXPROCS": "host topology runtime.GOMAXPROCS",
+}
+
+// sourceOf reports whether fn is a nondeterminism source. Top-level
+// math/rand and math/rand/v2 functions draw from the shared, unseeded
+// global generator and are sources wholesale; methods on explicitly
+// constructed *rand.Rand values are not (module policy on the import
+// itself is the nondeterminism analyzer's job).
+func sourceOf(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return "", false
+	}
+	path := pkg.Path()
+	if path == "math/rand" || path == "math/rand/v2" {
+		return "unseeded global generator " + path + "." + fn.Name(), true
+	}
+	desc, ok := callSources[path+"."+fn.Name()]
+	return desc, ok
+}
+
+// --- per-package analysis --------------------------------------------------
+
+// Options configures Package.
+type Options struct {
+	// IsDecision classifies a declared function as a scheduler decision
+	// point; recorded in its summary. May be nil.
+	IsDecision func(fn *ast.FuncDecl, obj *types.Func) bool
+	// Store receives the computed summaries; Global when nil.
+	Store *Store
+}
+
+// FuncTaint is the analyzed form of one declared function.
+type FuncTaint struct {
+	pkg     *PkgTaint
+	Decl    *ast.FuncDecl
+	Obj     *types.Func
+	sum     *Summary
+	formals map[types.Object]int
+	env     map[types.Object]val
+}
+
+// Decision reports whether the function is a decision point.
+func (f *FuncTaint) Decision() bool { return f.sum.Decision }
+
+// Eval returns the source-derivation chain of e in this function's final
+// environment, or nil when e does not derive from a nondeterminism
+// source.
+func (f *FuncTaint) Eval(e ast.Expr) *Step {
+	return f.pkg.eval(f, e).src
+}
+
+// PkgTaint is one package's taint analysis: per-function environments and
+// the summaries registered in the store.
+type PkgTaint struct {
+	pass  *analysis.Pass
+	store *Store
+	funcs []*FuncTaint
+	sums  map[*types.Func]*Summary // this package's summaries (fixpoint state)
+	// changed is the per-iteration dirty flag of the walker.
+	changed bool
+}
+
+// Funcs returns the analyzed functions in declaration order.
+func (p *PkgTaint) Funcs() []*FuncTaint { return p.funcs }
+
+// Summary returns the summary for fn: this package's fixpoint result, an
+// in-process result from a dependency, or a preloaded vetx summary.
+func (p *PkgTaint) Summary(fn *types.Func) *Summary {
+	if s, ok := p.sums[fn]; ok {
+		return s
+	}
+	return p.store.Lookup(fn)
+}
+
+// Package analyzes every function declared in pass's package: summaries
+// are iterated to a package-level fixpoint (so intra-package calls,
+// including mutual recursion, converge), then registered in the store for
+// downstream packages.
+func Package(pass *analysis.Pass, opts Options) *PkgTaint {
+	store := opts.Store
+	if store == nil {
+		store = Global
+	}
+	p := &PkgTaint{pass: pass, store: store, sums: make(map[*types.Func]*Summary)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.ObjectOf(fn.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			ft := &FuncTaint{pkg: p, Decl: fn, Obj: obj, sum: &Summary{}}
+			if opts.IsDecision != nil && opts.IsDecision(fn, obj) {
+				ft.sum.Decision = true
+			}
+			ft.formals = formalIndex(obj)
+			p.funcs = append(p.funcs, ft)
+			p.sums[obj] = ft.sum
+		}
+	}
+	// Package-level fixpoint over summaries. Each round recomputes every
+	// function's environment from scratch against the current summaries;
+	// summaries only grow, so this terminates. The bound is a backstop.
+	for round := 0; round < 16; round++ {
+		changed := false
+		for _, ft := range p.funcs {
+			next := p.analyze(ft)
+			next.Decision = ft.sum.Decision
+			if !next.equal(ft.sum) {
+				*ft.sum = *next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, ft := range p.funcs {
+		store.put(ft.Obj, ft.sum)
+	}
+	return p
+}
+
+// formalIndex maps each formal parameter object to its summary bit:
+// receiver 0, then parameters in order. Functions with more than 64
+// formals overflow into the last bit.
+func formalIndex(obj *types.Func) map[types.Object]int {
+	m := make(map[types.Object]int)
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil {
+		return m
+	}
+	idx := 0
+	if r := sig.Recv(); r != nil {
+		m[r] = 0
+		idx = 1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		bit := idx + i
+		if bit > 63 {
+			bit = 63
+		}
+		m[sig.Params().At(i)] = bit
+	}
+	return m
+}
+
+// analyze computes ft's environment to a fixpoint and returns the
+// resulting summary (Sourced/Source/ParamFlow).
+func (p *PkgTaint) analyze(ft *FuncTaint) *Summary {
+	ft.env = make(map[types.Object]val)
+	for i := 0; ; i++ {
+		p.changed = false
+		p.walkBody(ft)
+		if !p.changed || i > 256 {
+			break
+		}
+	}
+	sum := &Summary{}
+	ret := p.returnTaint(ft)
+	if ret.src != nil {
+		sum.Sourced = true
+		sum.Source = ret.src.Root().Desc
+	}
+	sum.ParamFlow = ret.params
+	return sum
+}
+
+// returnTaint joins the taint of every returned value, including named
+// results at bare returns.
+func (p *PkgTaint) returnTaint(ft *FuncTaint) val {
+	var out val
+	sig, _ := ft.Obj.Type().(*types.Signature)
+	ast.Inspect(ft.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a literal's returns are not the function's
+		}
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(r.Results) == 0 && sig != nil {
+			for i := 0; i < sig.Results().Len(); i++ {
+				if v, ok := ft.env[sig.Results().At(i)]; ok {
+					out = join(out, v)
+				}
+			}
+			return true
+		}
+		for _, e := range r.Results {
+			out = join(out, p.eval(ft, e))
+		}
+		return true
+	})
+	return out
+}

@@ -18,8 +18,16 @@
 //     (always, even when empty — cmd/go caches it), print diagnostics to
 //     stderr and exit 2 when it found anything.
 //
-// Facts are not implemented: none of the schedlint analyzers need
-// cross-package facts, so the vetx output is always an empty file.
+// Facts carry the taint layer's function summaries. Under go vet every
+// package is a separate process, so the in-process summary store the
+// standalone driver relies on is empty here; instead, each unit on a
+// module-local package computes its summaries (simtime.Summarize), writes
+// them as JSON to its vetx output, and preloads the vetx files of its
+// dependencies (cfg.PackageVetx) before analyzing. Cross-package taint —
+// a wall-clock read laundered through a helper in another package — is
+// therefore visible in both modes. Non-local packages (stdlib) write an
+// empty facts file: the taint layer models the relevant stdlib sources
+// directly.
 package unitchecker
 
 import (
@@ -36,6 +44,8 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/simtime"
+	"repro/internal/lint/taint"
 )
 
 // Config is the JSON structure of a unit-check configuration file, as
@@ -59,6 +69,12 @@ type Config struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// moduleLocal reports whether the import path belongs to this module:
+// only local packages get taint summaries computed and analyzers run.
+func moduleLocal(path string) bool {
+	return path == "repro" || strings.HasPrefix(path, "repro/")
+}
+
 // Run executes one unit of work described by the cfg file and returns the
 // process exit code: 0 for a clean package, 2 when diagnostics were
 // reported (matching `go tool vet` conventions), 1 on internal errors.
@@ -69,23 +85,54 @@ func Run(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
 		return 1
 	}
-	// The facts file must exist for cmd/go's cache even though schedlint
-	// produces no facts.
+	// The facts file must exist for cmd/go's cache even when there are no
+	// facts; a local package overwrites it with real summaries below.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "schedlint: writing vetx: %v\n", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		return 0 // dependency pass: only facts were wanted, and there are none
+	if !moduleLocal(cfg.ImportPath) {
+		return 0
 	}
 
-	findings, err := check(cfg, analyzers)
+	unit, err := typecheck(cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	if unit == nil {
+		return 0 // only test files: out of scope
+	}
+
+	// Make dependency summaries visible, compute this package's, and
+	// publish them for dependents.
+	for path, file := range cfg.PackageVetx {
+		if data, err := os.ReadFile(file); err == nil {
+			taint.Global.Preload(path, data)
+		}
+	}
+	simtime.Summarize(unit.fset, unit.files, unit.pkg, unit.info)
+	if cfg.VetxOutput != "" {
+		data, err := taint.Global.Export(unit.pkg)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: cmd/go wanted only the facts
+	}
+
+	findings, err := analysis.Run(unit.fset, unit.files, unit.pkg, unit.info, analyzers)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
 		return 1
 	}
@@ -110,8 +157,17 @@ func readConfig(path string) (*Config, error) {
 	return cfg, nil
 }
 
-// check parses and type-checks the unit, then runs the analyzers.
-func check(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+// unit is one parsed and type-checked package.
+type unit struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// typecheck parses and type-checks the unit from compiler export data. A
+// nil unit (with nil error) means the package had no non-test Go files.
+func typecheck(cfg *Config) (*unit, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -166,7 +222,7 @@ func check(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Finding, err
 	if err != nil {
 		return nil, err
 	}
-	return analysis.Run(fset, files, pkg, info, analyzers)
+	return &unit{fset: fset, files: files, pkg: pkg, info: info}, nil
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -1,0 +1,41 @@
+// Package u exercises the ignore-allowlist audit: a directive earning
+// its keep, a stale one, and one naming an analyzer that does not exist.
+package u
+
+import "sort"
+
+type completion struct {
+	end  int64
+	mach int
+	tag  uint64
+}
+
+// sortLoose carries a reasoned exemption that suppresses a live mergekey
+// finding; the audit accepts it.
+func sortLoose(comps []completion) {
+	//schedlint:ignore mergekey test fixture: gather order is acceptable here
+	sort.Slice(comps, func(i, j int) bool {
+		return comps[i].end < comps[j].end
+	})
+}
+
+// sortCanonical was fixed but kept its directive: the audit flags it.
+func sortCanonical(comps []completion) {
+	//schedlint:ignore mergekey the comparator predates the canonical order // want `suppresses nothing on this or the next line`
+	sort.Slice(comps, func(i, j int) bool {
+		a, b := comps[i], comps[j]
+		if a.end != b.end {
+			return a.end < b.end
+		}
+		if a.mach != b.mach {
+			return a.mach < b.mach
+		}
+		return a.tag < b.tag
+	})
+}
+
+// phantom names an analyzer that is not in the suite.
+func phantom() {
+	//schedlint:ignore meregkey typo in the analyzer name // want `names unknown analyzer "meregkey"`
+	_ = 0
+}

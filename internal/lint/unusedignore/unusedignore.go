@@ -1,0 +1,26 @@
+// Package unusedignore declares the "unusedignore" pseudo-analyzer: an
+// //schedlint:ignore directive whose analyzer no longer fires on the
+// suppressed line is itself a finding. Allowlist entries document real,
+// reasoned exemptions; when the code under one is rewritten and the
+// underlying diagnostic disappears, the directive becomes dead policy —
+// it silences nothing today but will silently swallow the next real
+// finding introduced on that line.
+//
+// The check itself lives in analysis.Run: it needs the suppression record
+// of every other analyzer in the suite, which only the driver holds.
+// This package contributes the registration (Run is nil) — including the
+// analyzer in a run set is the declaration that the set is complete, so
+// an unmatched directive is stale rather than merely aimed at an
+// analyzer that did not run. Its findings are non-suppressible: a stale
+// allowlist entry demands deletion, not a second allowlist entry.
+package unusedignore
+
+import "repro/internal/lint/analysis"
+
+// Analyzer is the unusedignore pseudo-analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: analysis.UnusedIgnoreName,
+	Doc: "an //schedlint:ignore directive that suppresses no diagnostic, or names an unknown " +
+		"analyzer, is a stale allowlist entry and must be deleted",
+	Run: nil,
+}

@@ -1,0 +1,20 @@
+package unusedignore_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/mergekey"
+	"repro/internal/lint/unusedignore"
+)
+
+// TestUnusedIgnore runs a two-analyzer suite: the audit only activates
+// when the unusedignore pseudo-analyzer is present, declaring the set
+// complete.
+func TestUnusedIgnore(t *testing.T) {
+	analysistest.RunSuite(t,
+		[]*analysis.Analyzer{mergekey.Analyzer, unusedignore.Analyzer},
+		"u/internal/cluster",
+	)
+}

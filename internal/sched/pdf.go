@@ -55,6 +55,8 @@ func (p *PDF) Add(s *job.Strand, worker int) {
 }
 
 // Get implements Scheduler: pop the top of the shared DF stack.
+//
+//schedlint:decision
 func (p *PDF) Get(worker int) *job.Strand {
 	p.env.Charge(worker, p.costBase)
 	if p.items == 0 {

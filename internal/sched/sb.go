@@ -453,6 +453,8 @@ func (b *SB) takeFromBucket(nd *sbNode, bucketIdx, leaf, worker int) *job.Strand
 // innermost to the root; at each cache, scan buckets from the heaviest
 // (tasks anchored here) to the lightest, anchoring unanchored maximal
 // tasks on the way when the boundedness check allows.
+//
+//schedlint:decision
 func (b *SB) Get(worker int) *job.Strand {
 	b.base(worker)
 	leaf := b.m.LeafOf(worker)

@@ -148,6 +148,7 @@ func (w *WS) Add(s *job.Strand, worker int) {
 // attempt one steal from the top of a random victim's dequeue.
 //
 //schedlint:hotpath
+//schedlint:decision
 func (w *WS) Get(worker int) *job.Strand {
 	w.base(worker)
 	w.lock(worker, w.local[worker])

@@ -77,6 +77,8 @@ func NewBoundedQueue(maxInFlight, maxQueue int) *BoundedQueue {
 func (b *BoundedQueue) Name() string { return fmt.Sprintf("queue(%d,%d)", b.MaxInFlight, b.MaxQueue) }
 
 // Admit implements Admission.
+//
+//schedlint:decision
 func (b *BoundedQueue) Admit(_ int64, inFlight int) bool { return inFlight < b.MaxInFlight }
 
 // QueueCap implements Admission.
@@ -134,6 +136,8 @@ func (t *TokenBucket) Name() string {
 // degrade safely rather than divide by zero or spin: Burst <= 0 admits
 // nothing (the bucket can never hold a token), and Interval <= 0 refills
 // instantly (every arrival finds a full bucket).
+//
+//schedlint:decision
 func (t *TokenBucket) Admit(now int64, inFlight int) bool {
 	if t.Burst <= 0 {
 		return false
@@ -213,6 +217,8 @@ func NewHealthShed(inner Admission, threshold int64) *HealthShed {
 func (h *HealthShed) Name() string { return fmt.Sprintf("shed(%d,%s)", h.Threshold, h.Inner.Name()) }
 
 // Admit implements Admission by delegating to the inner policy.
+//
+//schedlint:decision
 func (h *HealthShed) Admit(now int64, inFlight int) bool { return h.Inner.Admit(now, inFlight) }
 
 // QueueCap implements Admission by delegating to the inner policy.
