@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-vettool bench bench-compare bench-replay cluster fullscale-smoke fuzz check
+.PHONY: all build test race lint lint-vettool bench bench-compare bench-replay cluster fullscale-smoke fullgrid-smoke fuzz check
 
 all: build test lint
 
@@ -87,6 +87,24 @@ fullscale-smoke:
 	echo "shards=1: $$f1"; echo "shards=2: $$f2"; \
 	test -n "$$f1" && test "$$f1" = "$$f2" \
 		&& echo "fullscale-smoke: fingerprints identical across shard counts"
+
+# fullgrid-smoke proves the record-once grid contract through the CLI the
+# way the CI job does: a ×4-scale 2-scheduler × 2-bandwidth grid must
+# perform exactly one recording (recordings=1 in the summary line), and
+# its sb cell at full bandwidth must print the same fingerprint as the
+# standalone cell experiment — shared recordings and grid concurrency
+# never reach simulated results.
+fullgrid-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/schedbench -experiment fullgrid -profile x4 -kernels RRM -scheds sb,sbd -bands 4,1 -shards 2 -gridworkers 2 > bin/fullgrid.log
+	$(GO) run ./cmd/schedbench -experiment cell -profile x4 -kernel RRM -sched sb -shards 2 > bin/cell_ref.log
+	@grep -q 'recordings=1 ' bin/fullgrid.log \
+		|| { echo "fullgrid-smoke: grid did not record exactly once"; grep 'fullgrid:' bin/fullgrid.log; exit 1; }
+	@fg=`awk '/^fullscale cell RRM\/sb .* links=4$$/{want=1} want && /fingerprint=/{print; exit}' bin/fullgrid.log | grep -o 'fingerprint=[0-9a-f]*'`; \
+	fc=`grep -o 'fingerprint=[0-9a-f]*' bin/cell_ref.log`; \
+	echo "grid: $$fg"; echo "cell: $$fc"; \
+	test -n "$$fg" && test "$$fg" = "$$fc" \
+		&& echo "fullgrid-smoke: grid fingerprint matches the cell path"
 
 # fuzz smoke-runs the codec fuzz targets for a few seconds each (go test
 # accepts exactly one -fuzz pattern per invocation, hence one run per

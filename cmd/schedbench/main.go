@@ -9,12 +9,18 @@
 //	schedbench -experiment machine             # print the Fig. 4 machine
 //
 // Experiments: machine, fig5, fig6, fig7, fig8, fig9, fig10, validate,
-// model, resilience, cell, all.
+// model, resilience, cell, fullgrid, all.
 //
 // The cell experiment runs one full-scale grid cell through the streamed
 // record/partition/sharded-replay pipeline:
 //
 //	schedbench -experiment cell -profile x1 -kernel RRM -sched sb -shards 4
+//
+// The fullgrid experiment runs the whole kernel × scheduler × bandwidth
+// grid off shared recordings (one per kernel) with cells replayed
+// concurrently under one decoder-memory budget:
+//
+//	schedbench -experiment fullgrid -profile x4 -shards 4 -gridworkers 4
 package main
 
 import (
@@ -45,8 +51,13 @@ func main() {
 		noTrace    = flag.Bool("notrace", false, "disable record/replay: execute every grid cell live")
 		kernel     = flag.String("kernel", "Quicksort", "cell experiment: kernel name (RRM|RRG|Quicksort|Samplesort|AwareSamplesort|Quad-Tree|MatMul)")
 		schedName  = flag.String("sched", "sb", "cell experiment: scheduler name")
-		shards     = flag.Int("shards", 1, "cell experiment: host goroutines for the sharded replay (never changes results)")
-		window     = flag.Int64("replaywindow", 0, "cell experiment: streamed-replay frame window in bytes (0 = default 16MB)")
+		shards     = flag.Int("shards", 1, "cell/fullgrid: host goroutines for each sharded replay (never changes results)")
+		window     = flag.Int64("replaywindow", 0, "cell/fullgrid: streamed-replay frame window in bytes (0 = default 16MB)")
+		kernelsCSV = flag.String("kernels", "Quicksort,Samplesort,AwareSamplesort,Quad-Tree,MatMul", "fullgrid: comma-separated kernel names")
+		schedsCSV  = flag.String("scheds", "ws,pws,sb,sbd", "fullgrid: comma-separated scheduler names")
+		bandsCSV   = flag.String("bands", "4,1", "fullgrid: comma-separated DRAM link counts (Fig. 8 = all links, Fig. 9 = 1)")
+		gridWork   = flag.Int("gridworkers", 0, "fullgrid: concurrent cells (0 = GOMAXPROCS; never changes results)")
+		gridBudget = flag.Int64("gridbudget", 0, "fullgrid: shared decoder-memory budget in bytes across concurrent cells (0 = max(replaywindow, 16MB))")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -86,13 +97,42 @@ func main() {
 	if *window < 0 {
 		fatalUsage("-replaywindow must be >= 0, got %d", *window)
 	}
+	if *gridWork < 0 {
+		fatalUsage("-gridworkers must be >= 0, got %d", *gridWork)
+	}
+	if *gridBudget < 0 {
+		fatalUsage("-gridbudget must be >= 0, got %d", *gridBudget)
+	}
+	if *experiment != "cell" && *experiment != "fullgrid" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "shards", "replaywindow":
+				fatalUsage("-%s applies only to -experiment cell or fullgrid", f.Name)
+			}
+		})
+	}
 	if *experiment != "cell" {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "kernel", "sched", "shards", "replaywindow":
+			case "kernel", "sched":
 				fatalUsage("-%s applies only to -experiment cell", f.Name)
 			}
 		})
+	}
+	if *experiment != "fullgrid" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "kernels", "scheds", "bands", "gridworkers", "gridbudget":
+				fatalUsage("-%s applies only to -experiment fullgrid", f.Name)
+			}
+		})
+	} else {
+		if *noTrace {
+			fatalUsage("-notrace conflicts with -experiment fullgrid (sharing recordings is the point of the grid)")
+		}
+		if *minHit >= 0 {
+			fatalUsage("-mintracehit applies to the in-memory trace cache, which fullgrid does not use")
+		}
 	}
 
 	if *cpuProf != "" {
@@ -243,6 +283,36 @@ func main() {
 			rep.Print(os.Stdout)
 			return nil
 		},
+		"fullgrid": func() error {
+			// The grid shares framed recordings on disk, not in-memory
+			// arena traces; silence the (unused) trace-cache report.
+			r.Traces = nil
+			if *traceDir != "" {
+				sc, err := dagtrace.NewStreamCache(*traceDir, 0)
+				if err != nil {
+					return err
+				}
+				r.FramedTraces = sc
+			}
+			r.Workers = *gridWork
+			r.GridBudget = *gridBudget
+			bands, err := parseBands(*bandsCSV)
+			if err != nil {
+				return err
+			}
+			rep, err := r.FullGrid(splitCSV(*kernelsCSV), splitCSV(*schedsCSV), bands)
+			if err != nil {
+				return err
+			}
+			rep.Print(os.Stdout)
+			if *csvDir == "" {
+				return nil
+			}
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			return exp.WriteFullGridCSV(fmt.Sprintf("%s/fullgrid.csv", *csvDir), rep)
+		},
 		"cluster": func() error {
 			points, err := r.Cluster()
 			if err != nil || *csvDir == "" {
@@ -254,8 +324,8 @@ func main() {
 			return exp.WriteClusterCSV(fmt.Sprintf("%s/cluster.csv", *csvDir), p.MachineHT(), points)
 		},
 	}
-	// "cell" is deliberately absent from the -experiment all order: at the
-	// x1 scales it exists for, it is run one cell at a time.
+	// "cell" and "fullgrid" are deliberately absent from the -experiment
+	// all order: they exist for the x1..x64 scales and are run explicitly.
 	order := []string{"machine", "validate", "model", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "resilience", "cluster"}
 
 	switch *experiment {
@@ -266,13 +336,37 @@ func main() {
 	default:
 		f, ok := experiments[*experiment]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "schedbench: unknown experiment %q (have %s, cell, all)\n",
+			fmt.Fprintf(os.Stderr, "schedbench: unknown experiment %q (have %s, cell, fullgrid, all)\n",
 				*experiment, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		run(*experiment, f)
 	}
 	reportTraces()
+}
+
+// splitCSV splits a comma-separated flag value, trimming blanks.
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseBands parses the -bands flag into link counts.
+func parseBands(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitCSV(s) {
+		var b int
+		if _, err := fmt.Sscanf(f, "%d", &b); err != nil {
+			return nil, fmt.Errorf("-bands: %q is not a link count", f)
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 // printMachine prints the Fig. 4 specification entry of the simulated

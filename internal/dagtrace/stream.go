@@ -169,6 +169,14 @@ type StreamTrace struct {
 // DefaultWindowBytes; it is clamped up to one frame). Close releases the
 // file handle when replay is done.
 func OpenStream(path string, windowBytes int64) (*StreamTrace, error) {
+	return OpenStreamBudget(path, windowBytes, nil)
+}
+
+// OpenStreamBudget is OpenStream with the window additionally charging
+// its resident and leased bytes against a shared Budget, so the streams
+// of concurrently replaying grid cells share one memory high-water mark.
+// A nil budget behaves exactly like OpenStream.
+func OpenStreamBudget(path string, windowBytes int64, budget *Budget) (*StreamTrace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -178,7 +186,7 @@ func OpenStream(path string, windowBytes int64) (*StreamTrace, error) {
 		f.Close()
 		return nil, err
 	}
-	t, err := NewStream(f, fi.Size(), windowBytes)
+	t, err := NewStreamBudget(f, fi.Size(), windowBytes, budget)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -191,6 +199,12 @@ func OpenStream(path string, windowBytes int64) (*StreamTrace, error) {
 // framed trace of the given total size. The metadata block is read and
 // verified here; frames are read on demand.
 func NewStream(r io.ReaderAt, size, windowBytes int64) (*StreamTrace, error) {
+	return NewStreamBudget(r, size, windowBytes, nil)
+}
+
+// NewStreamBudget is NewStream with a shared window Budget; see
+// OpenStreamBudget.
+func NewStreamBudget(r io.ReaderAt, size, windowBytes int64, budget *Budget) (*StreamTrace, error) {
 	var hdr [streamHeaderLen]byte
 	if size < streamHeaderLen+8 {
 		return nil, fmt.Errorf("dagtrace: framed trace truncated (%d bytes)", size)
@@ -336,13 +350,17 @@ func NewStream(r io.ReaderAt, size, windowBytes int64) (*StreamTrace, error) {
 	for i, ci := range t.childIdx {
 		t.kids[i] = &t.jobs[ci]
 	}
-	t.win.init(windowBytes, t.frameBuf, int64(frameN))
+	t.win.init(windowBytes, t.frameBuf, int64(frameN), budget)
 	return t, nil
 }
 
-// Close releases the file handle held by OpenStream. A StreamTrace built
-// over a caller-owned ReaderAt (NewStream) closes nothing.
+// Close drops the window's cached frames — crediting them back to a
+// shared Budget, so the tokens of a finished grid cell immediately fund
+// its neighbours — and releases the file handle held by OpenStream. A
+// StreamTrace built over a caller-owned ReaderAt (NewStream) closes no
+// file, but still settles its window.
 func (t *StreamTrace) Close() error {
+	t.win.drop()
 	if t.closer != nil {
 		return t.closer.Close()
 	}
@@ -374,6 +392,9 @@ func (t *StreamTrace) PeakResidentBytes() int64 {
 func (t *StreamTrace) CheckResult(res *sim.Result) error {
 	if err := t.win.fetchErr(); err != nil {
 		return err
+	}
+	if leaked := t.win.outstanding(); leaked != 0 {
+		return fmt.Errorf("dagtrace: replay finished with %d op bytes still leased from the window (script lease leak)", leaked)
 	}
 	if res.Tasks != t.TaskCount || res.Strands != t.StrandCount {
 		return fmt.Errorf("dagtrace: replay executed %d tasks / %d strands, trace recorded %d / %d",
@@ -453,6 +474,10 @@ type window struct {
 	mu        sync.Mutex
 	budget    int64
 	frameSize int64
+	// shared, when non-nil, is the grid-wide token bucket this window
+	// charges every resident or leased byte against; an overdrawn bucket
+	// forces eviction down to the one-frame minimum (see Budget).
+	shared *Budget
 
 	// frames[f] is the cached content of frame f (nil when absent);
 	// lastUse[f] its LRU stamp; resident lists the cached frame indices
@@ -474,7 +499,7 @@ type window struct {
 	err error // first fetch failure, surfaced by CheckResult
 }
 
-func (w *window) init(budget, frameSize, frameN int64) {
+func (w *window) init(budget, frameSize, frameN int64, shared *Budget) {
 	if budget <= 0 {
 		budget = DefaultWindowBytes
 	}
@@ -483,14 +508,43 @@ func (w *window) init(budget, frameSize, frameN int64) {
 	}
 	w.budget = budget
 	w.frameSize = frameSize
+	w.shared = shared
 	w.frames = make([][]byte, frameN)
 	w.lastUse = make([]uint64, frameN)
+}
+
+// drop evicts every cached frame and credits the shared bucket with the
+// window's whole residue; called by StreamTrace.Close so a finished
+// replay's tokens return to the grid. Recycled lease and frame buffers
+// are dropped too — a closed stream leases nothing again.
+//
+//schedlint:lease release
+func (w *window) drop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.shared.credit(w.residentBytes)
+	w.residentBytes = 0
+	for _, f := range w.resident {
+		w.frames[f] = nil
+	}
+	w.resident = w.resident[:0]
+	w.free, w.spare = nil, nil
 }
 
 func (w *window) fetchErr() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.err
+}
+
+// outstanding returns the bytes currently leased to in-flight strands.
+// After a replay completes it must be zero — every Script lease must
+// have reached ReleaseScript — and CheckResult enforces exactly that,
+// the runtime counterpart of the static leaseleak analysis.
+func (w *window) outstanding() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.leasedBytes
 }
 
 // emptyScript is the non-nil zero-length script of op-less strands: it
@@ -558,6 +612,7 @@ func (w *window) lease(span int64) []byte {
 			buf := w.free[i]
 			w.free = append(w.free[:i], w.free[i+1:]...)
 			w.leasedBytes += int64(cap(buf))
+			w.shared.charge(int64(cap(buf)))
 			return buf[:span]
 		}
 	}
@@ -567,11 +622,13 @@ func (w *window) lease(span int64) []byte {
 		c *= 2
 	}
 	w.leasedBytes += c
+	w.shared.charge(c)
 	return make([]byte, span, c)
 }
 
 func (w *window) unlease(buf []byte) {
 	w.leasedBytes -= int64(cap(buf))
+	w.shared.credit(int64(cap(buf)))
 	w.free = append(w.free, buf[:0])
 }
 
@@ -599,7 +656,8 @@ func (w *window) frame(t *StreamTrace, f int64) ([]byte, error) {
 	w.lastUse[f] = w.clock
 	w.resident = append(w.resident, f)
 	w.residentBytes += int64(len(data))
-	for w.residentBytes > w.budget && len(w.resident) > 1 {
+	w.shared.charge(int64(len(data)))
+	for (w.residentBytes > w.budget || w.shared.over()) && len(w.resident) > 1 {
 		// Evict the least-recently-used frame, never the one just loaded.
 		oldest, oi := int64(-1), -1
 		for i, rf := range w.resident {
@@ -614,6 +672,7 @@ func (w *window) frame(t *StreamTrace, f int64) ([]byte, error) {
 			break
 		}
 		w.residentBytes -= int64(len(w.frames[oldest]))
+		w.shared.credit(int64(len(w.frames[oldest])))
 		w.spare = append(w.spare, w.frames[oldest][:0])
 		w.frames[oldest] = nil
 		w.resident = append(w.resident[:oi], w.resident[oi+1:]...)

@@ -1,0 +1,225 @@
+package dagtrace
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// recordTestTrace records the standard test program for cache tests.
+func recordTestTrace(t *testing.T, n int) *Trace {
+	t.Helper()
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	sp := mem.NewSpace(m.Links, m.Links)
+	rec := NewRecorder()
+	if _, err := sim.Run(sim.Config{
+		Machine: m, Space: sp, Scheduler: sched.NewWS(), Seed: 7, Listener: rec,
+	}, testProgram(sp, n)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestStreamCacheSingleFlight pins the grid sharing discipline: of N
+// concurrent callers for one key, exactly one records; every other
+// caller blocks until the file lands and replays the same path.
+func TestStreamCacheSingleFlight(t *testing.T) {
+	c, err := NewStreamCache(t.TempDir(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := recordTestTrace(t, 1<<10)
+	const callers = 8
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		records int
+		paths   = map[string]bool{}
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, shared, record, err := c.GetOrReserve("k")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if record {
+				if shared {
+					t.Error("record=true with shared=true")
+				}
+				if p, err = c.Fill("k", tr); err != nil {
+					t.Error(err)
+					return
+				}
+			} else if !shared {
+				t.Error("non-recording caller saw shared=false")
+			}
+			mu.Lock()
+			if record {
+				records++
+			}
+			paths[p] = true
+			mu.Unlock()
+			st, err := OpenStream(p, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer st.Close()
+			if st.TaskCount != tr.TaskCount {
+				t.Errorf("cached file has %d tasks, recording %d", st.TaskCount, tr.TaskCount)
+			}
+		}()
+	}
+	wg.Wait()
+	if records != 1 {
+		t.Fatalf("got %d recordings, want exactly 1", records)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("callers saw %d distinct paths, want 1", len(paths))
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != callers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", s, callers-1)
+	}
+}
+
+// TestStreamCacheAdoptsDisk checks that a fresh cache over an existing
+// directory adopts (and revalidates) a previous process's file instead
+// of re-recording.
+func TestStreamCacheAdoptsDisk(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewStreamCache(dir, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := recordTestTrace(t, 1<<10)
+	if _, _, record, _ := c1.GetOrReserve("k"); !record {
+		t.Fatal("cold cache did not ask for a recording")
+	}
+	p1, err := c1.Fill("k", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewStreamCache(dir, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, shared, record, err := c2.GetOrReserve("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if record || !shared || p2 != p1 {
+		t.Fatalf("adoption: path=%q shared=%v record=%v, want %q true false", p2, shared, record, p1)
+	}
+	if s := c2.Stats(); s.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit", s)
+	}
+}
+
+// TestStreamCacheEvictsCorrupt checks the spill discipline on a damaged
+// file: it is removed, counted, and the key falls back to re-recording.
+func TestStreamCacheEvictsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewStreamCache(dir, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.path("k")
+	if err := os.WriteFile(p, []byte("not a framed trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, shared, record, err := c.GetOrReserve("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record || shared {
+		t.Fatalf("corrupt file: shared=%v record=%v, want false true", shared, record)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still on disk (stat err %v)", err)
+	}
+	if s := c.Stats(); s.Corrupt != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt and 1 miss", s)
+	}
+}
+
+// TestStreamCacheFail checks that a failed recording unblocks waiters
+// with the recorder's error rather than deadlocking them.
+func TestStreamCacheFail(t *testing.T) {
+	c, err := NewStreamCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, record, _ := c.GetOrReserve("k"); !record {
+		t.Fatal("cold cache did not ask for a recording")
+	}
+	boom := errors.New("kernel exploded")
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.GetOrReserve("k")
+		done <- err
+	}()
+	c.Fail("k", boom)
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "kernel exploded") {
+		t.Fatalf("waiter got %v, want the recording error", err)
+	}
+	if s := c.Stats(); s.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 fallback", s)
+	}
+}
+
+// TestBudgetSharedAccounting replays two streams off one tiny shared
+// budget: the bucket must force both windows down under pressure, its
+// high-water mark must be visible, and after both streams close every
+// token must be back (the runtime lease-leak check).
+func TestBudgetSharedAccounting(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	_, _, path := writeFramed(t, 1<<10, 1<<12, 0)
+	b := NewBudget(1 << 13) // 8KB across both streams: constant pressure
+	var sts []*StreamTrace
+	for i := 0; i < 2; i++ {
+		st, err := OpenStreamBudget(path, 1<<20, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sts = append(sts, st)
+	}
+	var fps []string
+	for _, st := range sts {
+		replayStream(t, st, m, "sb", 7)
+		fp, err := st.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fp)
+	}
+	if fps[0] != fps[1] {
+		t.Fatalf("budget pressure changed trace fingerprints: %s vs %s", fps[0], fps[1])
+	}
+	if b.PeakBytes() <= 0 {
+		t.Fatal("no peak recorded on the shared budget")
+	}
+	for _, st := range sts {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if used := b.Used(); used != 0 {
+		t.Fatalf("budget has %d bytes still charged after both streams closed", used)
+	}
+}

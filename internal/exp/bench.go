@@ -315,6 +315,33 @@ func BenchShardedReplay(b *testing.B) {
 	b.ReportMetric(float64(accesses)/b.Elapsed().Seconds(), "accesses/s")
 }
 
+// BenchGridFullscale measures the shared-recording grid executor: a
+// quick-profile 1-kernel × 2-scheduler × 2-bandwidth grid, cells
+// replayed two at a time off one recording under the shared decoder
+// budget. Its grid-wall-s against 4× BenchShardedReplay-plus-record is
+// the amortization win the full-scale grid exists for; the recording
+// count is asserted so a cache regression (cells silently re-recording)
+// fails the harness rather than just slowing it.
+func BenchGridFullscale(b *testing.B) {
+	p := Quick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(p, nullWriter{})
+		r.Traces = nil
+		r.Workers = 2
+		r.Shards = 1
+		rep, err := r.FullGrid([]string{"Quicksort"}, []string{"sb", "sbd"}, []int{4, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Recordings != 1 {
+			b.Fatalf("grid performed %d recordings, want exactly 1", rep.Recordings)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "grid-wall-s")
+}
+
 type nullWriter struct{}
 
 func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
@@ -333,6 +360,7 @@ var benchSuite = []struct {
 	{"replay_fig8", BenchReplayFig8},
 	{"windowed_decode", BenchWindowedDecode},
 	{"sharded_replay", BenchShardedReplay},
+	{"grid_fullscale_smoke", BenchGridFullscale},
 }
 
 // RunBenchSuite executes the harness and collects a BenchReport.

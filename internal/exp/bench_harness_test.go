@@ -16,3 +16,4 @@ func BenchmarkHarnessReplayFig8(b *testing.B)   { BenchReplayFig8(b) }
 
 func BenchmarkHarnessWindowedDecode(b *testing.B) { BenchWindowedDecode(b) }
 func BenchmarkHarnessShardedReplay(b *testing.B)  { BenchShardedReplay(b) }
+func BenchmarkHarnessGridFullscale(b *testing.B)  { BenchGridFullscale(b) }

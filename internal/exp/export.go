@@ -41,3 +41,43 @@ func WriteCSV(path string, rows []FigRow) error {
 }
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteFullGridCSV exports a full-scale grid report, one row per cell:
+// simulated results (wall cycles, misses, stalls) plus the host-side
+// stage timings and memory high-water marks the grid amortization is
+// judged by. record_s and write_s are zero (and record_shared true) for
+// cells that reused another cell's recording.
+func WriteFullGridCSV(path string, rep *FullGridReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{
+		"kernel", "scheduler", "links", "shards",
+		"sharded_wall_cycles", "l3_misses", "dram_stall_cycles",
+		"tasks", "strands", "op_bytes", "file_bytes",
+		"record_shared", "record_s", "write_s", "sharded_s",
+		"peak_window_bytes", "fingerprint",
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, c := range rep.Cells {
+		rec := []string{
+			c.Kernel, c.Scheduler, strconv.Itoa(c.LinksUsed), strconv.Itoa(c.Shards),
+			strconv.FormatInt(c.ShardedWall, 10), strconv.FormatInt(c.L3Misses, 10),
+			strconv.FormatInt(c.StallCycles, 10),
+			strconv.FormatUint(c.Tasks, 10), strconv.FormatUint(c.Strands, 10),
+			strconv.FormatInt(c.OpBytes, 10), strconv.FormatInt(c.TraceBytes, 10),
+			strconv.FormatBool(c.RecordShared), fmtF(c.RecordSec), fmtF(c.WriteSec), fmtF(c.ShardedSec),
+			strconv.FormatInt(c.PeakWindowB, 10), c.Fingerprint,
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,279 @@
+package exp
+
+// The full-scale Fig. 8/Fig. 9 grid: every kernel × scheduler ×
+// bandwidth cell at a FullScale profile, sharing one framed recording
+// per kernel and one decoder-memory budget across concurrently
+// replaying cells. A K-kernel, S-scheduler, B-bandwidth grid performs K
+// recordings (not K·S·B) — the record stage is over half of a cell's
+// wall-clock, so the grid amortizes the dominant cost — and its
+// per-cell fingerprints are bit-identical to running each cell alone
+// through FullCellAt, invariant under -shards, worker count and budget
+// (pinned by TestFullGridEquivalence).
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dagtrace"
+	"repro/internal/sched"
+)
+
+// GridCell names one full-scale grid point.
+type GridCell struct {
+	Kernel    string
+	Scheduler string
+	LinksUsed int // DRAM links in use (Fig. 8: all, Fig. 9: 1)
+}
+
+// FullGridReport is the outcome of one full-scale grid run.
+type FullGridReport struct {
+	Profile string
+	Machine string
+	Shards  int
+	Window  int64
+	Workers int
+
+	// Cells holds one report per grid point, in input order (kernels ×
+	// schedulers × bandwidths).
+	Cells []*FullCellReport
+
+	// Recordings counts cells that produced a framed recording;
+	// SharedCells counts cells that reused one. Recordings equals the
+	// number of distinct kernels when the cache starts cold, and 0 when
+	// every recording was adopted from a previous run's directory.
+	Recordings  int
+	SharedCells int
+
+	// GridSec is the host wall-clock of the whole grid; SumCellSec is the
+	// sum of every cell's stage times — what the same cells would cost run
+	// back to back — so GridSec vs SumCellSec is the grid's concurrency +
+	// sharing win.
+	GridSec    float64
+	SumCellSec float64
+
+	// BudgetBytes is the shared token bucket's size; PeakBudgetBytes its
+	// high-water mark over all concurrent windows — the grid-wide analogue
+	// of one stream's PeakResidentBytes.
+	BudgetBytes     int64
+	PeakBudgetBytes int64
+
+	// CacheStats snapshots the framed-trace cache after the grid drains.
+	CacheStats dagtrace.Stats
+}
+
+// FullGrid runs the kernels × schedNames × bands grid of full-scale
+// cells concurrently on r.Workers host goroutines. All cells of one
+// kernel share a single framed recording (r.FramedTraces when set, else
+// a grid-lifetime temp cache): the first cell to arrive records under
+// FullRecordSched, everyone else blocks on the cache and replays the
+// same file. Every cell's decoder window draws on one shared budget of
+// r.GridBudget bytes, so grid peak decoder memory tracks a single
+// cell's rather than multiplying by the worker count. Cells skip the
+// unsharded full-machine replay (the cell experiment's cross-check);
+// their results come from the sharded per-socket replay, which is where
+// the full-scale numbers come from anyway.
+func (r *Runner) FullGrid(kernels, schedNames []string, bands []int) (*FullGridReport, error) {
+	m := r.P.MachineHT()
+	if len(kernels) == 0 || len(schedNames) == 0 {
+		return nil, fmt.Errorf("exp: full grid needs at least one kernel and one scheduler")
+	}
+	if len(bands) == 0 {
+		bands = []int{m.Links}
+	}
+	for _, k := range kernels {
+		if _, err := r.P.FullKernelFactory(k); err != nil {
+			return nil, err
+		}
+	}
+	for _, sn := range schedNames {
+		if sched.New(sn) == nil {
+			return nil, fmt.Errorf("exp: unknown scheduler %q (want one of %v)", sn, sched.Names())
+		}
+	}
+	for _, b := range bands {
+		if b < 1 || b > m.Links {
+			return nil, fmt.Errorf("exp: bandwidth %d out of range 1..%d links", b, m.Links)
+		}
+	}
+
+	cache := r.FramedTraces
+	if cache == nil {
+		dir, err := os.MkdirTemp("", "fullgrid-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if cache, err = dagtrace.NewStreamCache(dir, 0); err != nil {
+			return nil, err
+		}
+	}
+	before := cache.Stats()
+	budgetBytes := r.GridBudget
+	if budgetBytes <= 0 {
+		budgetBytes = r.ReplayWindow
+		if budgetBytes < dagtrace.DefaultWindowBytes {
+			budgetBytes = dagtrace.DefaultWindowBytes
+		}
+	}
+	budget := dagtrace.NewBudget(budgetBytes)
+
+	cells := make([]GridCell, 0, len(kernels)*len(schedNames)*len(bands))
+	for _, k := range kernels {
+		for _, sn := range schedNames {
+			for _, b := range bands {
+				cells = append(cells, GridCell{Kernel: k, Scheduler: sn, LinksUsed: b})
+			}
+		}
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	rep := &FullGridReport{
+		Profile: r.P.Name, Machine: m.Name, Shards: r.Shards,
+		Window: r.ReplayWindow, Workers: workers,
+		Cells:       make([]*FullCellReport, len(cells)),
+		BudgetBytes: budgetBytes,
+	}
+	errs := make([]error, len(cells))
+	//schedlint:ignore nondeterminism host-side grid wall-clock for the report; simulated results never read it
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	// outMu serializes verbose progress lines (io.Writer implementations
+	// are not safe for concurrent use).
+	var outMu sync.Mutex
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//schedlint:ignore nondeterminism cell fan-out parallelism; each cell is a pure function of its inputs and results land at fixed indices
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				rep.Cells[i], errs[i] = r.fullCell(c.Kernel, c.Scheduler, fullCellOpts{
+					linksUsed: c.LinksUsed, cache: cache, budget: budget,
+				})
+				if r.Verbose && errs[i] == nil {
+					outMu.Lock()
+					fmt.Fprintf(r.Out, "# done %-16s %-4s bw=%d/%d: sharded=%.1fs shared=%v\n",
+						c.Kernel, c.Scheduler, c.LinksUsed, m.Links,
+						rep.Cells[i].ShardedSec, rep.Cells[i].RecordShared)
+					outMu.Unlock()
+				}
+			}
+		}()
+	}
+	// Record-first dispatch: the first cell of every kernel goes out ahead
+	// of the rest, so the K recordings start immediately and replay cells
+	// never occupy workers just to block on the cache.
+	seen := make(map[string]bool, len(kernels))
+	order := make([]int, 0, len(cells))
+	var rest []int
+	for i, c := range cells {
+		if seen[c.Kernel] {
+			rest = append(rest, i)
+			continue
+		}
+		seen[c.Kernel] = true
+		order = append(order, i)
+	}
+	for _, i := range append(order, rest...) {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	//schedlint:ignore nondeterminism host-side grid wall-clock for the report
+	rep.GridSec = time.Since(t0).Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: grid cell %s/%s bw=%d: %w",
+				cells[i].Kernel, cells[i].Scheduler, cells[i].LinksUsed, err)
+		}
+	}
+	for _, c := range rep.Cells {
+		if c.RecordShared {
+			rep.SharedCells++
+		} else {
+			rep.Recordings++
+		}
+		rep.SumCellSec += c.RecordSec + c.WriteSec + c.ReplaySec + c.ShardedSec
+	}
+	rep.PeakBudgetBytes = budget.PeakBytes()
+	if leaked := budget.Used(); leaked != 0 {
+		return nil, fmt.Errorf("exp: grid drained with %d budget bytes still charged (window lease leak)", leaked)
+	}
+	s := cache.Stats()
+	rep.CacheStats = dagtrace.Stats{
+		Hits: s.Hits - before.Hits, Misses: s.Misses - before.Misses,
+		DiskHits: s.DiskHits - before.DiskHits, Fallbacks: s.Fallbacks - before.Fallbacks,
+		Corrupt: s.Corrupt - before.Corrupt,
+	}
+	return rep, nil
+}
+
+// Print renders per-cell reports, a Fig. 8/Fig. 9-style table per
+// bandwidth (sharded wall seconds and L3 misses per kernel × scheduler),
+// and the summary line the fullgrid-smoke CI job greps (recordings= in
+// particular).
+func (rep *FullGridReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "fullgrid profile=%s machine=%s cells=%d workers=%d shards=%d\n",
+		rep.Profile, rep.Machine, len(rep.Cells), rep.Workers, rep.Shards)
+	for _, c := range rep.Cells {
+		c.Print(w)
+	}
+
+	// One table per bandwidth, kernels down, schedulers across.
+	var kernels, scheds []string
+	var bands []int
+	kseen := map[string]bool{}
+	sseen := map[string]bool{}
+	bseen := map[int]bool{}
+	byCell := map[GridCell]*FullCellReport{}
+	for _, c := range rep.Cells {
+		if !kseen[c.Kernel] {
+			kseen[c.Kernel] = true
+			kernels = append(kernels, c.Kernel)
+		}
+		if !sseen[c.Scheduler] {
+			sseen[c.Scheduler] = true
+			scheds = append(scheds, c.Scheduler)
+		}
+		if !bseen[c.LinksUsed] {
+			bseen[c.LinksUsed] = true
+			bands = append(bands, c.LinksUsed)
+		}
+		byCell[GridCell{c.Kernel, c.Scheduler, c.LinksUsed}] = c
+	}
+	for _, b := range bands {
+		fmt.Fprintf(w, "\n# table links=%d (sharded wall Mcycles | L3 misses)\n", b)
+		fmt.Fprintf(w, "%-18s", "kernel")
+		for _, sn := range scheds {
+			fmt.Fprintf(w, " %22s", sn)
+		}
+		fmt.Fprintln(w)
+		for _, k := range kernels {
+			fmt.Fprintf(w, "%-18s", k)
+			for _, sn := range scheds {
+				c := byCell[GridCell{k, sn, b}]
+				if c == nil {
+					fmt.Fprintf(w, " %22s", "-")
+					continue
+				}
+				fmt.Fprintf(w, " %12.1f|%9d", float64(c.ShardedWall)/1e6, c.L3Misses)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "\n# fullgrid: recordings=%d shared=%d grid_wall=%.1fs cell_sum=%.1fs budget=%d peak_budget_bytes=%d cache=[hits=%d misses=%d disk=%d corrupt=%d]\n",
+		rep.Recordings, rep.SharedCells, rep.GridSec, rep.SumCellSec,
+		rep.BudgetBytes, rep.PeakBudgetBytes,
+		rep.CacheStats.Hits, rep.CacheStats.Misses, rep.CacheStats.DiskHits, rep.CacheStats.Corrupt)
+}

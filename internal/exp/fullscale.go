@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/dagtrace"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sched"
 	"repro/internal/shard"
@@ -80,11 +81,24 @@ func (p Profile) FullKernelFactory(name string) (KernelFactory, error) {
 	return nil, fmt.Errorf("exp: unknown kernel %q (want RRM, RRG, Quicksort, Samplesort, AwareSamplesort, Quad-Tree or MatMul)", name)
 }
 
+// FullRecordSched is the canonical scheduler every full-scale recording
+// runs under. A recording's semantics (ops, addresses, dependencies) are
+// schedule-independent, but its layout is not: node numbering follows
+// the recording execution order, and the partitioner breaks ties on node
+// indices. Pinning one recording scheduler makes the framed file — and
+// therefore every replay fingerprint derived from it — a pure function
+// of (kernel, scale, seed, machine), which is what lets a grid share one
+// recording across cells and still match the one-cell-at-a-time path
+// bit for bit. sb is the paper's reference scheduler and the cheapest to
+// simulate at full scale.
+const FullRecordSched = "sb"
+
 // FullCellReport is the outcome of one full-scale cell.
 type FullCellReport struct {
 	Kernel    string
 	Scheduler string
 	Machine   string
+	LinksUsed int // DRAM links in use (the Fig. 9 bandwidth knob)
 	Shards    int
 	Window    int64
 
@@ -93,49 +107,53 @@ type FullCellReport struct {
 	OpBytes        int64 // op-stream bytes (the part the window bounds)
 	TraceBytes     int64 // framed file size on disk
 
+	// RecordShared reports the recording was reused — produced by another
+	// grid cell or adopted from a previous process — rather than by this
+	// cell; RecordSec and WriteSec are then zero, so summing stage columns
+	// over a grid never double-counts the amortized record stage.
+	RecordShared bool
+
 	// Host wall-clock of each pipeline stage, in seconds.
-	RecordSec   float64 // live run + recording
-	WriteSec    float64 // framing to disk
+	RecordSec   float64 // live run + recording (0 when RecordShared)
+	WriteSec    float64 // framing to disk (0 when RecordShared)
 	ReplaySec   float64 // unsharded streamed replay, full machine
 	ShardedSec  float64 // sharded streamed replay (Shards goroutines)
 	PeakSysMB   float64 // runtime.MemStats.Sys after the replays
 	PeakWindowB int64   // decoder-resident high-water mark (window + leases)
 
 	// Simulated results.
-	ReplayWall  int64  // unsharded makespan, cycles
+	ReplayWall  int64  // unsharded makespan, cycles (0 in grid cells)
 	ShardedWall int64  // sharded makespan (max over sockets), cycles
+	L3Misses    int64  // sharded L3 misses, summed over sockets
+	StallCycles int64  // sharded DRAM-stall cycles, summed over sockets
 	Fingerprint string // sharded merge fingerprint (shard-count invariant)
 }
 
-// FullCell runs one full-scale grid cell end to end: record the kernel
-// live on the profile's machine, frame the trace to disk, reopen it
-// through a window of r.ReplayWindow bytes, replay it unsharded on the
-// full machine, then partition it and replay it sharded over the
-// machine's sockets on r.Shards host goroutines. The sharded fingerprint
-// it reports is invariant under r.Shards; the driver's fullscale-smoke CI
-// job pins that by diffing two runs.
-func (r *Runner) FullCell(kernel, schedName string) (*FullCellReport, error) {
-	mk, err := r.P.FullKernelFactory(kernel)
-	if err != nil {
-		return nil, err
-	}
-	if sched.New(schedName) == nil {
-		return nil, fmt.Errorf("exp: unknown scheduler %q (want one of %v)", schedName, sched.Names())
-	}
-	m := r.P.MachineHT()
-	seed := r.P.Seed
-	rep := &FullCellReport{
-		Kernel: kernel, Scheduler: schedName, Machine: m.Name,
-		Shards: r.Shards, Window: r.ReplayWindow,
-	}
+// fullCellOpts selects the stages and sharing discipline of one
+// full-scale cell run.
+type fullCellOpts struct {
+	linksUsed int                    // 0 = all machine links
+	cache     *dagtrace.StreamCache  // nil = private temp recording
+	budget    *dagtrace.Budget       // shared window budget (nil = per-stream only)
+	unsharded bool                   // also replay unsharded on the full machine
+}
 
-	//schedlint:ignore nondeterminism host-side stage timing for the report; simulated results never read it
-	t0 := time.Now()
+// framedKey is the grid cache identity of a kernel's framed recording:
+// the schedule-independent computation key (same discipline as traceKey
+// — scheduler, bandwidth and cost are absent) plus the canonical
+// recording scheduler, which fixes the file's layout.
+func (r *Runner) framedKey(kernel string, m *machine.Desc) string {
+	return r.traceKey(Cell{Label: kernel, Machine: m}, r.P.Seed) + "|framed:rec=" + FullRecordSched
+}
+
+// fullRecord runs the kernel live under the canonical recording
+// scheduler with a recorder attached and returns the finished trace.
+func (r *Runner) fullRecord(mk KernelFactory, m *machine.Desc, seed uint64) (*dagtrace.Trace, error) {
 	sp := mem.NewSpacePaged(m.Links, m.Links, r.P.PageSize())
 	k := mk(sp, m, seed)
 	rec := dagtrace.NewRecorder()
 	if _, err := sim.Run(sim.Config{
-		Machine: m, Space: sp, Scheduler: sched.New(schedName), Seed: seed, Listener: rec,
+		Machine: m, Space: sp, Scheduler: sched.New(FullRecordSched), Seed: seed, Listener: rec,
 	}, k.Root()); err != nil {
 		return nil, fmt.Errorf("exp: full-scale record: %w", err)
 	}
@@ -146,54 +164,144 @@ func (r *Runner) FullCell(kernel, schedName string) (*FullCellReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: full-scale record: %w", err)
 	}
-	//schedlint:ignore nondeterminism host-side stage timing for the report
-	rep.RecordSec = time.Since(t0).Seconds()
-	rep.Tasks, rep.Strands = tr.TaskCount, tr.StrandCount
-	rep.OpBytes = tr.OpBytes()
+	return tr, nil
+}
 
-	dir, err := os.MkdirTemp("", "fullscale-")
+// FullCell runs one full-scale grid cell end to end: record the kernel
+// live on the profile's machine (under FullRecordSched), frame the trace
+// to disk, reopen it through a window of r.ReplayWindow bytes, replay it
+// unsharded on the full machine, then partition it and replay it sharded
+// over the machine's sockets on r.Shards host goroutines. The sharded
+// fingerprint it reports is invariant under r.Shards; the driver's
+// fullscale-smoke CI job pins that by diffing two runs. When
+// r.FramedTraces is set the recording resolves through the shared grid
+// cache instead of a private temp file.
+func (r *Runner) FullCell(kernel, schedName string) (*FullCellReport, error) {
+	return r.fullCell(kernel, schedName, fullCellOpts{cache: r.FramedTraces, unsharded: true})
+}
+
+// FullCellAt is FullCell at a bandwidth setting: linksUsed of the
+// machine's DRAM links in use (0 = all). It is the sequential reference
+// the grid equivalence tests compare against.
+func (r *Runner) FullCellAt(kernel, schedName string, linksUsed int) (*FullCellReport, error) {
+	return r.fullCell(kernel, schedName, fullCellOpts{linksUsed: linksUsed, cache: r.FramedTraces, unsharded: true})
+}
+
+func (r *Runner) fullCell(kernel, schedName string, o fullCellOpts) (*FullCellReport, error) {
+	mk, err := r.P.FullKernelFactory(kernel)
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "cell.dgts")
-	//schedlint:ignore nondeterminism host-side stage timing for the report
-	t0 = time.Now()
-	if err := dagtrace.WriteFramed(tr, path, 0); err != nil {
-		return nil, fmt.Errorf("exp: full-scale frame: %w", err)
+	if sched.New(schedName) == nil {
+		return nil, fmt.Errorf("exp: unknown scheduler %q (want one of %v)", schedName, sched.Names())
 	}
-	//schedlint:ignore nondeterminism host-side stage timing for the report
-	rep.WriteSec = time.Since(t0).Seconds()
+	m := r.P.MachineHT()
+	links := o.linksUsed
+	if links == 0 {
+		links = m.Links
+	}
+	if links < 1 || links > m.Links {
+		return nil, fmt.Errorf("exp: LinksUsed %d out of range 1..%d", o.linksUsed, m.Links)
+	}
+	seed := r.P.Seed
+	rep := &FullCellReport{
+		Kernel: kernel, Scheduler: schedName, Machine: m.Name,
+		LinksUsed: links, Shards: r.Shards, Window: r.ReplayWindow,
+	}
+
+	// Stage 1: resolve the framed recording — through the shared grid
+	// cache (one recording per kernel key, whoever gets there first) or a
+	// private temp file.
+	var path string
+	if o.cache != nil {
+		key := r.framedKey(kernel, m)
+		p, shared, record, err := o.cache.GetOrReserve(key)
+		if err != nil {
+			return nil, fmt.Errorf("exp: full-scale shared record: %w", err)
+		}
+		if record {
+			//schedlint:ignore nondeterminism host-side stage timing for the report; simulated results never read it
+			t0 := time.Now()
+			tr, err := r.fullRecord(mk, m, seed)
+			if err != nil {
+				o.cache.Fail(key, err)
+				return nil, err
+			}
+			//schedlint:ignore nondeterminism host-side stage timing for the report
+			rep.RecordSec = time.Since(t0).Seconds()
+			//schedlint:ignore nondeterminism host-side stage timing for the report
+			t0 = time.Now()
+			if p, err = o.cache.Fill(key, tr); err != nil {
+				return nil, fmt.Errorf("exp: full-scale frame: %w", err)
+			}
+			//schedlint:ignore nondeterminism host-side stage timing for the report
+			rep.WriteSec = time.Since(t0).Seconds()
+		} else {
+			rep.RecordShared = shared
+		}
+		path = p
+	} else {
+		//schedlint:ignore nondeterminism host-side stage timing for the report; simulated results never read it
+		t0 := time.Now()
+		tr, err := r.fullRecord(mk, m, seed)
+		if err != nil {
+			return nil, err
+		}
+		//schedlint:ignore nondeterminism host-side stage timing for the report
+		rep.RecordSec = time.Since(t0).Seconds()
+		dir, err := os.MkdirTemp("", "fullscale-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "cell.dgts")
+		//schedlint:ignore nondeterminism host-side stage timing for the report
+		t0 = time.Now()
+		if err := dagtrace.WriteFramed(tr, path, 0); err != nil {
+			return nil, fmt.Errorf("exp: full-scale frame: %w", err)
+		}
+		//schedlint:ignore nondeterminism host-side stage timing for the report
+		rep.WriteSec = time.Since(t0).Seconds()
+	}
 	if fi, err := os.Stat(path); err == nil {
 		rep.TraceBytes = fi.Size()
 	}
-	// Release the arena, the kernel and its address space before replaying:
-	// from here on, op bytes live only behind the window.
-	tr, rec, k, sp = nil, nil, nil, nil
+	// Release the arena before replaying: from here on, op bytes live only
+	// behind the window. (In the cache path the arena reference died with
+	// Fill's scope; the collector still needs the nudge before the replay
+	// allocates its address space.)
 	runtime.GC()
 
-	st, err := dagtrace.OpenStream(path, r.ReplayWindow)
+	// Stage 2: reopen through the bounded window, charging the shared grid
+	// budget when one is set.
+	st, err := dagtrace.OpenStreamBudget(path, r.ReplayWindow, o.budget)
 	if err != nil {
 		return nil, fmt.Errorf("exp: full-scale open: %w", err)
 	}
 	defer st.Close()
+	rep.Tasks, rep.Strands = st.TaskCount, st.StrandCount
+	rep.OpBytes = st.OpBytes()
 
-	//schedlint:ignore nondeterminism host-side stage timing for the report
-	t0 = time.Now()
-	rsp := mem.NewSpacePaged(m.Links, m.Links, r.P.PageSize())
-	res, err := sim.Run(sim.Config{
-		Machine: m, Space: rsp, Scheduler: sched.New(schedName), Seed: seed,
-	}, st.Root())
-	if err != nil {
-		return nil, fmt.Errorf("exp: full-scale replay: %w", err)
+	// Stage 3 (cell experiment only): unsharded replay on the full machine.
+	if o.unsharded {
+		//schedlint:ignore nondeterminism host-side stage timing for the report
+		t0 := time.Now()
+		rsp := mem.NewSpacePaged(m.Links, links, r.P.PageSize())
+		res, err := sim.Run(sim.Config{
+			Machine: m, Space: rsp, Scheduler: sched.New(schedName), Seed: seed,
+		}, st.Root())
+		if err != nil {
+			return nil, fmt.Errorf("exp: full-scale replay: %w", err)
+		}
+		if err := st.CheckResult(res); err != nil {
+			return nil, fmt.Errorf("exp: full-scale replay: %w", err)
+		}
+		//schedlint:ignore nondeterminism host-side stage timing for the report
+		rep.ReplaySec = time.Since(t0).Seconds()
+		rep.ReplayWall = res.WallCycles
 	}
-	if err := st.CheckResult(res); err != nil {
-		return nil, fmt.Errorf("exp: full-scale replay: %w", err)
-	}
-	//schedlint:ignore nondeterminism host-side stage timing for the report
-	rep.ReplaySec = time.Since(t0).Seconds()
-	rep.ReplayWall = res.WallCycles
 
+	// Stage 4: partition and replay sharded over the machine's sockets.
 	sockets := m.Levels[0].Fanout
 	part, err := dagtrace.PartitionStream(st, 2*sockets)
 	if err != nil {
@@ -204,13 +312,14 @@ func (r *Runner) FullCell(kernel, schedName string) (*FullCellReport, error) {
 		roots[i] = shard.Root{Job: pc.Root, Weight: pc.Weight}
 	}
 	//schedlint:ignore nondeterminism host-side stage timing for the report
-	t0 = time.Now()
+	t0 := time.Now()
 	sres, err := shard.Replay(shard.Config{
 		Machine:   m,
 		MakeSched: func() sched.Scheduler { return sched.New(schedName) },
 		Seed:      seed,
 		Shards:    r.Shards,
 		PageSize:  r.P.PageSize(),
+		LinksUsed: links,
 	}, roots)
 	if err != nil {
 		return nil, fmt.Errorf("exp: full-scale sharded replay: %w", err)
@@ -222,6 +331,13 @@ func (r *Runner) FullCell(kernel, schedName string) (*FullCellReport, error) {
 			sres.Tasks, sres.Strands, rep.Tasks, rep.Strands)
 	}
 	rep.ShardedWall = sres.WallCycles
+	for _, sr := range sres.Sockets {
+		if sr == nil {
+			continue
+		}
+		rep.L3Misses += sr.L3Misses()
+		rep.StallCycles += sr.StallCycles
+	}
 	rep.Fingerprint = sres.Fingerprint()
 	rep.PeakWindowB = st.PeakResidentBytes()
 	var ms runtime.MemStats
@@ -236,13 +352,18 @@ func (r *Runner) FullCell(kernel, schedName string) (*FullCellReport, error) {
 // observations (stage wall-clock, decoder/runtime memory high-water
 // marks) that vary with machine load and goroutine interleaving.
 func (rep *FullCellReport) Print(w io.Writer) {
-	fmt.Fprintf(w, "fullscale cell %s/%s on %s\n", rep.Kernel, rep.Scheduler, rep.Machine)
+	fmt.Fprintf(w, "fullscale cell %s/%s on %s links=%d\n", rep.Kernel, rep.Scheduler, rep.Machine, rep.LinksUsed)
 	fmt.Fprintf(w, "  trace: tasks=%d strands=%d opbytes=%d filebytes=%d\n",
 		rep.Tasks, rep.Strands, rep.OpBytes, rep.TraceBytes)
-	fmt.Fprintf(w, "  host: record=%.2fs write=%.2fs replay=%.2fs sharded=%.2fs (shards=%d)\n",
-		rep.RecordSec, rep.WriteSec, rep.ReplaySec, rep.ShardedSec, rep.Shards)
+	shared := ""
+	if rep.RecordShared {
+		shared = " (shared)"
+	}
+	fmt.Fprintf(w, "  host: record=%.2fs%s write=%.2fs replay=%.2fs sharded=%.2fs (shards=%d)\n",
+		rep.RecordSec, shared, rep.WriteSec, rep.ReplaySec, rep.ShardedSec, rep.Shards)
 	fmt.Fprintf(w, "  memory: window=%d peak_window_bytes=%d runtime_sys=%.1fMB\n",
 		rep.Window, rep.PeakWindowB, rep.PeakSysMB)
-	fmt.Fprintf(w, "  sim: replay_wall=%d sharded_wall=%d\n", rep.ReplayWall, rep.ShardedWall)
+	fmt.Fprintf(w, "  sim: replay_wall=%d sharded_wall=%d l3_misses=%d stall=%d\n",
+		rep.ReplayWall, rep.ShardedWall, rep.L3Misses, rep.StallCycles)
 	fmt.Fprintf(w, "  fingerprint=%s\n", rep.Fingerprint)
 }

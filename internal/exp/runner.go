@@ -81,6 +81,18 @@ type Runner struct {
 	// ReplayWindow bounds the decoder-resident bytes of streamed replays
 	// (FullCell); 0 means dagtrace.DefaultWindowBytes.
 	ReplayWindow int64
+	// FramedTraces, when non-nil, resolves full-scale recordings through a
+	// shared on-disk framed-trace cache: one recording per (kernel, scale,
+	// seed, machine) key, shared by every scheduler × bandwidth cell of a
+	// grid — and, because files are content-addressed, across processes.
+	// nil gives every FullCell a private temp recording; FullGrid then
+	// builds a grid-lifetime cache of its own.
+	FramedTraces *dagtrace.StreamCache
+	// GridBudget is the FullGrid token bucket over decoder-resident window
+	// bytes, shared by every concurrent cell's stream; 0 means
+	// max(ReplayWindow, dagtrace.DefaultWindowBytes) — concurrent cells
+	// share one cell's memory high-water mark instead of multiplying it.
+	GridBudget int64
 }
 
 // NewRunner returns a Runner writing tables to out, with an in-memory

@@ -61,6 +61,14 @@ type Config struct {
 	// PageSize is the placement page size for each socket's address space
 	// (0 = mem.PageSize). Scaled machines pass their scaled page.
 	PageSize int64
+	// LinksUsed is the grid's bandwidth knob: b of Machine.Links DRAM
+	// links in use (0 means all). A socket slice has exactly one private
+	// link, so cross-socket link contention cannot be simulated here;
+	// instead each socket's link is derated proportionally — its
+	// LineService becomes LineService·Links/LinksUsed — modelling b links
+	// of aggregate bandwidth shared evenly by the sockets. Pure integer
+	// arithmetic on the config, so results stay a function of the inputs.
+	LinksUsed int
 }
 
 // Result is the deterministic merge of the per-socket simulations.
@@ -131,6 +139,13 @@ func Replay(cfg Config, roots []Root) (*Result, error) {
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("shard: no roots to replay")
 	}
+	links := cfg.LinksUsed
+	if links == 0 {
+		links = m.Links
+	}
+	if links < 1 || links > m.Links {
+		return nil, fmt.Errorf("shard: LinksUsed %d out of range 1..%d", cfg.LinksUsed, m.Links)
+	}
 	pageSize := cfg.PageSize
 	if pageSize == 0 {
 		pageSize = mem.PageSize
@@ -181,6 +196,11 @@ func Replay(cfg Config, roots []Root) (*Result, error) {
 			jobs[i] = roots[ri].Job
 		}
 		sm := machine.SocketSlice(m, s)
+		if links < m.Links {
+			// Bandwidth derating (see Config.LinksUsed): multiply before
+			// dividing so the ratio survives integer arithmetic.
+			sm.LineService = m.LineService * int64(m.Links) / int64(links)
+		}
 		sp := mem.NewSpacePaged(sm.Links, sm.Links, pageSize)
 		r, err := sim.RunStream(sim.Config{
 			Machine:   sm,

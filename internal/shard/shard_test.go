@@ -157,6 +157,51 @@ func TestShardAssignmentBalance(t *testing.T) {
 	}
 }
 
+// TestShardLinksUsedDerating pins the bandwidth knob: replaying with
+// fewer links in use must slow the simulated clock (per-socket
+// LineService derated by Links/LinksUsed), stay deterministic across
+// shard counts, never change trace conservation totals, and reject
+// out-of-range values.
+func TestShardLinksUsedDerating(t *testing.T) {
+	m := machine.TwoSocket(4, 1<<16, 1<<12)
+	_, roots := recordParts(t, m, 4)
+	mk := func() sched.Scheduler { return sched.NewWS() }
+	full, err := Replay(Config{Machine: m, MakeSched: mk, Seed: 11}, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *Result
+	for _, shards := range []int{1, 2} {
+		half, err := Replay(Config{Machine: m, MakeSched: mk, Seed: 11, Shards: shards, LinksUsed: 1}, roots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if half.WallCycles <= full.WallCycles {
+			t.Errorf("1 of %d links: wall %d not above full-bandwidth %d", m.Links, half.WallCycles, full.WallCycles)
+		}
+		if half.Tasks != full.Tasks || half.Strands != full.Strands || half.Accesses != full.Accesses {
+			t.Errorf("derating changed conservation totals: %+v vs %+v", half, full)
+		}
+		if prev != nil && half.Fingerprint() != prev.Fingerprint() {
+			t.Errorf("derated fingerprint differs across shard counts")
+		}
+		prev = half
+	}
+	// LinksUsed == Links must be exactly the default.
+	all, err := Replay(Config{Machine: m, MakeSched: mk, Seed: 11, LinksUsed: m.Links}, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Fingerprint() != full.Fingerprint() {
+		t.Error("LinksUsed=Links differs from the all-links default")
+	}
+	for _, bad := range []int{-1, m.Links + 1} {
+		if _, err := Replay(Config{Machine: m, MakeSched: mk, Seed: 11, LinksUsed: bad}, roots); err == nil {
+			t.Errorf("LinksUsed=%d accepted", bad)
+		}
+	}
+}
+
 // TestShardRejectsLinkMismatch: a machine without one DRAM link per
 // socket cannot be sharded along sockets.
 func TestShardRejectsLinkMismatch(t *testing.T) {
