@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-vettool bench bench-compare bench-replay cluster fullscale-smoke fullgrid-smoke fuzz check
+.PHONY: all build test race lint lint-vettool bench bench-compare bench-replay cluster fullscale-smoke fullgrid-smoke fullgrid-resume-smoke fuzz check
 
 all: build test lint
 
@@ -106,6 +106,42 @@ fullgrid-smoke:
 	test -n "$$fg" && test "$$fg" = "$$fc" \
 		&& echo "fullgrid-smoke: grid fingerprint matches the cell path"
 
+# fullgrid-resume-smoke proves the supervisor's crash-safe resume
+# contract through the CLI the way the CI job does: a journaled ×4 grid
+# is SIGTERMed after its first cell completes and must exit with the
+# resumable code (3); a -resume run must restore the journaled cells
+# (resumed= in the supervisor line) and print fingerprint lines
+# identical to an uninterrupted run over the same recordings.
+RESUME_DIR := bin/resume_run
+RESUME_FLAGS := -experiment fullgrid -profile x4 -kernels RRM -scheds sb,sbd -bands 4,1 -shards 2 -gridworkers 1
+fullgrid-resume-smoke:
+	@mkdir -p bin
+	rm -rf $(RESUME_DIR) bin/interrupted.log bin/resume.log bin/clean.log
+	$(GO) build -o bin/schedbench ./cmd/schedbench
+	@./bin/schedbench $(RESUME_FLAGS) -v -rundir $(RESUME_DIR) > bin/interrupted.log 2>&1 & \
+	pid=$$!; \
+	for i in `seq 1 180`; do \
+		grep -q '^# done' bin/interrupted.log && break; \
+		kill -0 $$pid 2>/dev/null || break; \
+		sleep 1; \
+	done; \
+	grep -q '^# done' bin/interrupted.log || { echo "fullgrid-resume-smoke: no cell completed before timeout"; cat bin/interrupted.log; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; code=$$?; \
+	test $$code -eq 3 || { echo "fullgrid-resume-smoke: interrupted run exited $$code, want 3"; cat bin/interrupted.log; exit 1; }; \
+	echo "fullgrid-resume-smoke: interrupted run exited resumable (3)"
+	@./bin/schedbench $(RESUME_FLAGS) -v -rundir $(RESUME_DIR) -resume > bin/resume.log 2>&1 \
+		|| { echo "fullgrid-resume-smoke: resume failed"; cat bin/resume.log; exit 1; }
+	@grep -q 'resumed=[1-9]' bin/resume.log \
+		|| { echo "fullgrid-resume-smoke: resume restored no cells"; grep supervisor bin/resume.log; exit 1; }
+	@./bin/schedbench $(RESUME_FLAGS) -tracecache $(RESUME_DIR)/traces > bin/clean.log 2>&1 \
+		|| { echo "fullgrid-resume-smoke: clean run failed"; cat bin/clean.log; exit 1; }
+	@grep -o 'fingerprint=[0-9a-f]*' bin/resume.log | sort > bin/resume_fp.txt; \
+	grep -o 'fingerprint=[0-9a-f]*' bin/clean.log | sort > bin/clean_fp.txt; \
+	test -s bin/resume_fp.txt \
+		&& diff -u bin/resume_fp.txt bin/clean_fp.txt \
+		&& echo "fullgrid-resume-smoke: resumed fingerprints identical to the uninterrupted run"
+
 # fuzz smoke-runs the codec fuzz targets for a few seconds each (go test
 # accepts exactly one -fuzz pattern per invocation, hence one run per
 # target): the opcode varint codecs, the framed-trace stream decoder, and
@@ -117,6 +153,7 @@ fuzz:
 	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzUvarintDecode$$' -fuzztime 5s
 	$(GO) test ./internal/opcode/ -run '^$$' -fuzz '^FuzzZigzagRoundTrip$$' -fuzztime 5s
 	$(GO) test ./internal/dagtrace/ -run '^$$' -fuzz '^FuzzFramedDecode$$' -fuzztime 5s
+	$(GO) test ./internal/runlog/ -run '^$$' -fuzz '^FuzzRunlogDecode$$' -fuzztime 5s
 	$(GO) test ./internal/lint/analysis/ -run '^$$' -fuzz '^FuzzDirective$$' -fuzztime 5s
 
 # check is the full pre-push gate: everything CI enforces that can run

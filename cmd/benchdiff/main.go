@@ -9,11 +9,12 @@
 // For every benchmark present in both reports it compares ns/op,
 // allocs/op and each derived metric, prints a delta table, and exits 1
 // if any figure moved in the losing direction by more than the threshold
-// (percent). A benchmark present in old but missing from new is also a
-// failure — dropping a measurement silently is how perf coverage rots.
-// Benchmarks only present in new are reported and accepted (that is what
-// a freshly added measurement looks like). Exit codes: 0 ok, 1
-// regressions, 2 usage or input errors.
+// (percent). Benchmarks present in only one report are part of normal
+// harness evolution, not regressions: one missing from new is reported
+// as "(removed)" and one missing from old as "(added)", both counted in
+// the summary line, and neither fails the diff — only measured figures
+// moving the wrong way do. Exit codes: 0 ok, 1 regressions, 2 usage or
+// input errors.
 //
 // Which direction loses is inferred from the metric name: throughput
 // metrics (suffix "/s", "-rate") regress downward, everything else —
@@ -25,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -53,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	if diff(oldRep, newRep, *threshold) {
+	if diff(os.Stdout, oldRep, newRep, *threshold) {
 		os.Exit(1)
 	}
 }
@@ -78,18 +80,19 @@ func higherIsBetter(name string) bool {
 	return strings.HasSuffix(name, "/s") || strings.HasSuffix(name, "-rate")
 }
 
-// diff prints the comparison table and returns true if anything regressed
-// beyond threshold percent.
-func diff(oldRep, newRep *exp.BenchReport, threshold float64) bool {
+// diff prints the comparison table to w and returns true if anything
+// regressed beyond threshold percent. Benchmarks present in only one
+// report are listed as (removed)/(added) and never count as regressions.
+func diff(w io.Writer, oldRep, newRep *exp.BenchReport, threshold float64) bool {
 	oldBy := byName(oldRep)
 	newBy := byName(newRep)
-	regressions := 0
-	fmt.Printf("%-24s %-22s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	regressions, removed, added := 0, 0, 0
+	fmt.Fprintf(w, "%-24s %-22s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	for _, ob := range oldRep.Benchmarks {
 		nb, ok := newBy[ob.Name]
 		if !ok {
-			fmt.Printf("%-24s %-22s %14s %14s %9s  REGRESSION (dropped)\n", ob.Name, "-", "-", "-", "-")
-			regressions++
+			fmt.Fprintf(w, "%-24s %-22s %14.4g %14s %9s  (removed)\n", ob.Name, "ns/op", float64(ob.NsPerOp), "-", "-")
+			removed++
 			continue
 		}
 		for _, row := range rows(ob, nb) {
@@ -98,20 +101,24 @@ func diff(oldRep, newRep *exp.BenchReport, threshold float64) bool {
 				mark = "  REGRESSION"
 				regressions++
 			}
-			fmt.Printf("%-24s %-22s %14.4g %14.4g %+8.1f%%%s\n",
+			fmt.Fprintf(w, "%-24s %-22s %14.4g %14.4g %+8.1f%%%s\n",
 				ob.Name, row.metric, row.old, row.new, row.pct(), mark)
 		}
 	}
 	for _, nb := range newRep.Benchmarks {
 		if _, ok := oldBy[nb.Name]; !ok {
-			fmt.Printf("%-24s %-22s %14s %14.4g %9s  (new)\n", nb.Name, "ns/op", "-", float64(nb.NsPerOp), "-")
+			fmt.Fprintf(w, "%-24s %-22s %14s %14.4g %9s  (added)\n", nb.Name, "ns/op", "-", float64(nb.NsPerOp), "-")
+			added++
 		}
 	}
+	if removed > 0 || added > 0 {
+		fmt.Fprintf(w, "coverage: %d benchmark(s) removed, %d added\n", removed, added)
+	}
 	if regressions > 0 {
-		fmt.Printf("FAIL: %d figure(s) regressed by more than %.0f%%\n", regressions, threshold)
+		fmt.Fprintf(w, "FAIL: %d figure(s) regressed by more than %.0f%%\n", regressions, threshold)
 		return true
 	}
-	fmt.Printf("ok: no regression above %.0f%%\n", threshold)
+	fmt.Fprintf(w, "ok: no regression above %.0f%%\n", threshold)
 	return false
 }
 

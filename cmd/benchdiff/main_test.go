@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func report(entries ...exp.BenchEntry) *exp.BenchReport {
+	return &exp.BenchReport{Benchmarks: entries}
+}
+
+func entry(name string, ns int64, metrics map[string]float64) exp.BenchEntry {
+	return exp.BenchEntry{Name: name, NsPerOp: ns, Metrics: metrics}
+}
+
+// TestDiffAddedRemoved pins the coverage-churn contract: benchmarks
+// present in only one report are listed as (removed)/(added) and counted,
+// but never fail the diff — only measured figures moving the wrong way do.
+func TestDiffAddedRemoved(t *testing.T) {
+	oldRep := report(
+		entry("BenchKept", 100, nil),
+		entry("BenchRetired", 500, nil),
+	)
+	newRep := report(
+		entry("BenchKept", 101, nil),
+		entry("BenchFresh", 200, nil),
+	)
+	var out bytes.Buffer
+	if failed := diff(&out, oldRep, newRep, 10); failed {
+		t.Errorf("diff failed on added/removed benchmarks:\n%s", out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"BenchRetired", "(removed)",
+		"BenchFresh", "(added)",
+		"coverage: 1 benchmark(s) removed, 1 added",
+		"ok: no regression",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestDiffRegressionStillFails makes sure the added/removed leniency did
+// not soften real regressions: a shared benchmark whose ns/op moved past
+// the threshold fails even when churned entries are present.
+func TestDiffRegressionStillFails(t *testing.T) {
+	oldRep := report(entry("BenchKept", 100, nil), entry("BenchRetired", 500, nil))
+	newRep := report(entry("BenchKept", 200, nil), entry("BenchFresh", 200, nil))
+	var out bytes.Buffer
+	if failed := diff(&out, oldRep, newRep, 10); !failed {
+		t.Errorf("100%% ns/op regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output does not mark the regression:\n%s", out.String())
+	}
+}
+
+// TestDiffDirections spot-checks the metric direction rules through the
+// public diff path: throughput metrics regress downward, everything else
+// upward, and improvements never fail.
+func TestDiffDirections(t *testing.T) {
+	cases := []struct {
+		name     string
+		metric   string
+		old, new float64
+		fail     bool
+	}{
+		{"throughput-drop", "ops/s", 100, 50, true},
+		{"throughput-gain", "ops/s", 100, 200, false},
+		{"latency-rise", "ns/access", 100, 200, true},
+		{"latency-fall", "ns/access", 200, 100, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			oldRep := report(entry("B", 100, map[string]float64{c.metric: c.old}))
+			newRep := report(entry("B", 100, map[string]float64{c.metric: c.new}))
+			var out bytes.Buffer
+			if failed := diff(&out, oldRep, newRep, 10); failed != c.fail {
+				t.Errorf("%s %g -> %g: failed=%v, want %v\n%s",
+					c.metric, c.old, c.new, failed, c.fail, out.String())
+			}
+		})
+	}
+}

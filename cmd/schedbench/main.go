@@ -21,21 +21,38 @@
 // concurrently under one decoder-memory budget:
 //
 //	schedbench -experiment fullgrid -profile x4 -shards 4 -gridworkers 4
+//
+// Long grids run supervised: -rundir journals every cell crash-safely,
+// SIGINT/SIGTERM drain the running cells and flush a PARTIAL report
+// (exit code 3 = resumable), and -resume continues the journal, skipping
+// completed cells bit-identically:
+//
+//	schedbench -experiment fullgrid -profile x1 -rundir runs/x1
+//	schedbench -experiment fullgrid -profile x1 -rundir runs/x1 -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dagtrace"
 	"repro/internal/exp"
 	"repro/internal/machine"
 )
+
+// exitResumable is the exit code of a grid that stopped early but left a
+// journal (or partial state) a -resume run can continue: interrupted by
+// a signal, or completed with failed cells.
+const exitResumable = 3
 
 func main() {
 	var (
@@ -58,6 +75,11 @@ func main() {
 		bandsCSV   = flag.String("bands", "4,1", "fullgrid: comma-separated DRAM link counts (Fig. 8 = all links, Fig. 9 = 1)")
 		gridWork   = flag.Int("gridworkers", 0, "fullgrid: concurrent cells (0 = GOMAXPROCS; never changes results)")
 		gridBudget = flag.Int64("gridbudget", 0, "fullgrid: shared decoder-memory budget in bytes across concurrent cells (0 = max(replaywindow, 16MB))")
+		runDir     = flag.String("rundir", "", "fullgrid: journal every cell outcome to this directory (crash-safe; recordings land in rundir/traces unless -tracecache is set)")
+		resume     = flag.Bool("resume", false, "fullgrid: continue the journal in -rundir, skipping completed cells bit-identically")
+		cellDL     = flag.Duration("celldeadline", 0, "fullgrid: host wall-clock watchdog per cell attempt, doubling per retry (0 = none)")
+		cellRetry  = flag.Int("cellretries", 0, "fullgrid: re-attempts per failing cell, quarantining its shared recording in between")
+		retryWait  = flag.Duration("retrybackoff", 0, "fullgrid: wait before a cell's first retry, doubling per attempt (0 = 1s)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -119,10 +141,20 @@ func main() {
 			}
 		})
 	}
+	if *cellRetry < 0 {
+		fatalUsage("-cellretries must be >= 0, got %d", *cellRetry)
+	}
+	if *cellDL < 0 || *retryWait < 0 {
+		fatalUsage("-celldeadline and -retrybackoff must be >= 0")
+	}
+	if *resume && *runDir == "" {
+		fatalUsage("-resume requires -rundir (the journal to continue)")
+	}
 	if *experiment != "fullgrid" {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "kernels", "scheds", "bands", "gridworkers", "gridbudget":
+			case "kernels", "scheds", "bands", "gridworkers", "gridbudget",
+				"rundir", "resume", "celldeadline", "cellretries", "retrybackoff":
 				fatalUsage("-%s applies only to -experiment fullgrid", f.Name)
 			}
 		})
@@ -300,18 +332,42 @@ func main() {
 			if err != nil {
 				return err
 			}
-			rep, err := r.FullGrid(splitCSV(*kernelsCSV), splitCSV(*schedsCSV), bands)
-			if err != nil {
+			// SIGINT/SIGTERM drain the grid gracefully: running cells
+			// finish, pending cells stay journaled, and the partial
+			// report + CSV flush before the resumable exit.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			defer stop()
+			rep, err := r.FullGridRun(ctx, splitCSV(*kernelsCSV), splitCSV(*schedsCSV), bands, exp.GridRunOpts{
+				RunDir: *runDir, Resume: *resume,
+				CellDeadline: *cellDL, CellRetries: *cellRetry, RetryBackoff: *retryWait,
+			})
+			resumable := rep != nil &&
+				(errors.Is(err, exp.ErrGridInterrupted) || errors.Is(err, exp.ErrGridCellsFailed))
+			if err != nil && !resumable {
 				return err
 			}
+			stop() // a second signal past this point kills the process normally
 			rep.Print(os.Stdout)
-			if *csvDir == "" {
-				return nil
+			if *csvDir != "" {
+				if cerr := os.MkdirAll(*csvDir, 0o755); cerr == nil {
+					cerr = exp.WriteFullGridCSV(fmt.Sprintf("%s/fullgrid.csv", *csvDir), rep)
+					if cerr != nil && err == nil {
+						return cerr
+					} else if cerr != nil {
+						fmt.Fprintf(os.Stderr, "schedbench: fullgrid csv: %v\n", cerr)
+					}
+				} else if err == nil {
+					return cerr
+				}
 			}
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				return err
+			if resumable {
+				fmt.Fprintf(os.Stderr, "schedbench: fullgrid: %v\n", err)
+				if *runDir != "" {
+					fmt.Fprintf(os.Stderr, "schedbench: resume with: schedbench -experiment fullgrid -rundir %s -resume (plus your other flags)\n", *runDir)
+				}
+				os.Exit(exitResumable)
 			}
-			return exp.WriteFullGridCSV(fmt.Sprintf("%s/fullgrid.csv", *csvDir), rep)
+			return nil
 		},
 		"cluster": func() error {
 			points, err := r.Cluster()

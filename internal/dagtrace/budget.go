@@ -71,6 +71,22 @@ func (b *Budget) credit(n int64) {
 	b.mu.Unlock()
 }
 
+// Admit reports whether n more bytes fit in the bucket right now — the
+// grid supervisor's admission check before a cell opens its window. An
+// idle bucket admits any n (one cell must always be able to run,
+// whatever its window size), so admission can never wedge a grid: a
+// rejected cell is diverted to the degraded serialized path rather than
+// blocked, and runs once the windows holding the bucket's tokens drain.
+// A nil budget admits everything.
+func (b *Budget) Admit(n int64) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used == 0 || b.used+n <= b.total
+}
+
 // over reports whether the bucket is overdrawn — the signal for every
 // window sharing it to evict down to its minimum.
 func (b *Budget) over() bool {

@@ -22,6 +22,10 @@ type Stats struct {
 	Misses    int64
 	Fallbacks int64
 	Corrupt   int64
+	// Quarantined counts recordings evicted on suspicion by
+	// StreamCache.Quarantine (a failing grid cell distrusting its shared
+	// trace before a retry), as opposed to Corrupt's checksum failures.
+	Quarantined int64
 }
 
 // HitRate is hits over all resolutions, in [0,1]; 0 when nothing ran.

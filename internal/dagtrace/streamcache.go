@@ -32,10 +32,31 @@ type StreamCache struct {
 	dir       string
 	frameSize int64 // 0 = DefaultFrameSize
 
+	// writeFn frames a trace to disk; tests inject failing writers to
+	// exercise the disk-full / I/O-error paths. nil means WriteFramed.
+	writeFn func(t *Trace, path string, frameSize int64) error
+
 	mu      sync.Mutex
 	entries map[string]*streamEntry
 	stats   Stats
 }
+
+// WriteError is the typed failure of framing a recording to the cache's
+// directory — disk full, permissions, any I/O fault. Fill returns it and
+// publishes it to the key's waiters, but the single-flight reservation
+// itself is released: a later GetOrReserve re-records instead of
+// inheriting a permanently wedged key.
+type WriteError struct {
+	Key  string // cache key of the recording
+	Path string // content-addressed destination file
+	Err  error  // underlying write failure
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("dagtrace: stream cache fill %s (key %q): %v", e.Path, e.Key, e.Err)
+}
+
+func (e *WriteError) Unwrap() error { return e.Err }
 
 type streamEntry struct {
 	ready chan struct{} // closed by Fill/Fail
@@ -99,23 +120,33 @@ func (c *StreamCache) GetOrReserve(key string) (path string, shared, record bool
 }
 
 // Fill frames the recorded trace to the key's content-addressed file and
-// publishes the path, unblocking the key's waiters. A write failure is
-// published as the key's outcome (waiters see the same error the
-// recorder does — there is no file to fall back to).
+// publishes the path, unblocking the key's waiters. A write failure
+// (disk full, I/O error) comes back as a *WriteError: the error is
+// published as this reservation's outcome (waiters see the same failure
+// the recorder does — there is no file to fall back to), a half-written
+// file is removed, and the reservation is released so the key stays
+// recordable once the disk recovers.
 func (c *StreamCache) Fill(key string, t *Trace) (string, error) {
 	p := c.path(key)
-	err := WriteFramed(t, p, c.frameSize)
-	if err != nil {
-		err = fmt.Errorf("dagtrace: stream cache fill: %w", err)
-		c.publish(key, "", err)
-		return "", err
+	write := c.writeFn
+	if write == nil {
+		write = WriteFramed
+	}
+	if err := write(t, p, c.frameSize); err != nil {
+		werr := &WriteError{Key: key, Path: p, Err: err}
+		os.Remove(p) // WriteFramed is tmp+rename, but an injected writer may tear
+		c.publish(key, "", werr)
+		return "", werr
 	}
 	c.publish(key, p, nil)
 	return p, nil
 }
 
 // Fail publishes a recording failure for a reservation made by
-// GetOrReserve, unblocking its waiters with the error.
+// GetOrReserve, unblocking its waiters with the error. Like a failed
+// Fill, the reservation is released: the failure poisons exactly the
+// callers who were already waiting on this attempt, and the next
+// GetOrReserve starts a fresh recording.
 func (c *StreamCache) Fail(key string, err error) {
 	if err == nil {
 		panic("dagtrace: StreamCache.Fail with nil error")
@@ -131,8 +162,38 @@ func (c *StreamCache) publish(key, path string, err error) {
 		panic("dagtrace: stream-cache publish without matching GetOrReserve reservation")
 	}
 	e.path, e.err, e.done = path, err, true
+	if err != nil {
+		// Release the single-flight reservation on failure: current waiters
+		// hold e and still observe the error, but the key must not stay
+		// wedged — a retry (freed disk, transient fault) re-records.
+		delete(c.entries, key)
+	}
 	c.mu.Unlock()
 	close(e.ready)
+}
+
+// Quarantine evicts a key's published recording — cache entry and
+// content-addressed file both — so the next GetOrReserve re-records from
+// scratch. The grid supervisor calls it between attempts of a failing
+// cell: a replay error may mean the shared recording itself is suspect,
+// and retrying against the same bytes would fail the same way. A key
+// whose recording is still in flight is left alone (there is nothing
+// cached to distrust yet) and Quarantine reports false; evictions are
+// counted in Stats.Quarantined.
+func (c *StreamCache) Quarantine(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e != nil && !e.done {
+		return false
+	}
+	delete(c.entries, key)
+	removed := os.Remove(c.path(key)) == nil
+	if e != nil || removed {
+		c.stats.Quarantined++
+		return true
+	}
+	return false
 }
 
 // Stats returns a snapshot of the cache counters.

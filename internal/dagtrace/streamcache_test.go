@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -170,16 +171,157 @@ func TestStreamCacheFail(t *testing.T) {
 	}
 	boom := errors.New("kernel exploded")
 	done := make(chan error, 1)
+	registered := make(chan struct{})
 	go func() {
+		close(registered)
 		_, _, _, err := c.GetOrReserve("k")
 		done <- err
 	}()
+	// Let the waiter block on the reservation before it fails: a waiter
+	// arriving after the failure would (correctly) re-record instead.
+	<-registered
+	time.Sleep(50 * time.Millisecond)
 	c.Fail("k", boom)
 	if err := <-done; err == nil || !strings.Contains(err.Error(), "kernel exploded") {
 		t.Fatalf("waiter got %v, want the recording error", err)
 	}
 	if s := c.Stats(); s.Fallbacks != 1 {
 		t.Fatalf("stats = %+v, want 1 fallback", s)
+	}
+	// Fail releases the reservation: the key is recordable again, not
+	// wedged on the stale failure.
+	if _, _, record, err := c.GetOrReserve("k"); err != nil || !record {
+		t.Fatalf("post-Fail GetOrReserve: record=%v err=%v, want a fresh recording slot", record, err)
+	}
+	if _, err := c.Fill("k", recordTestTrace(t, 1<<10)); err != nil {
+		t.Fatalf("recording after a released failure: %v", err)
+	}
+}
+
+// TestStreamCacheFillWriteError injects a failing writer (the disk-full
+// / I/O-error path) and pins the contract from both sides: the recorder
+// and every waiter observe a typed *WriteError, no file is published,
+// and the single-flight reservation is released so the key re-records —
+// and succeeds — once the writer recovers.
+func TestStreamCacheFillWriteError(t *testing.T) {
+	c, err := NewStreamCache(t.TempDir(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskFull := errors.New("no space left on device")
+	c.writeFn = func(t *Trace, path string, frameSize int64) error {
+		// Simulate a torn write: bytes land, then the device fills.
+		os.WriteFile(path, []byte("partial"), 0o644)
+		return diskFull
+	}
+	tr := recordTestTrace(t, 1<<10)
+	if _, _, record, _ := c.GetOrReserve("k"); !record {
+		t.Fatal("cold cache did not ask for a recording")
+	}
+	waiter := make(chan error, 1)
+	registered := make(chan struct{})
+	go func() {
+		close(registered)
+		_, _, _, err := c.GetOrReserve("k")
+		waiter <- err
+	}()
+	// As in TestStreamCacheFail: the waiter must be blocked on this
+	// reservation before the failure publishes, or it would re-record.
+	<-registered
+	time.Sleep(50 * time.Millisecond)
+	_, err = c.Fill("k", tr)
+	var werr *WriteError
+	if !errors.As(err, &werr) {
+		t.Fatalf("Fill returned %T (%v), want *WriteError", err, err)
+	}
+	if werr.Key != "k" || !errors.Is(err, diskFull) {
+		t.Fatalf("WriteError = %+v, want key %q wrapping the disk error", werr, "k")
+	}
+	if werr := <-waiter; !errors.As(werr, new(*WriteError)) {
+		t.Fatalf("waiter got %v, want the *WriteError", werr)
+	}
+	if _, statErr := os.Stat(c.path("k")); !os.IsNotExist(statErr) {
+		t.Fatalf("torn file survived the failed Fill (stat err %v)", statErr)
+	}
+
+	// Reservation released: with a healthy writer the key records fine.
+	c.writeFn = nil
+	p, _, record, err := c.GetOrReserve("k")
+	if err != nil || !record {
+		t.Fatalf("post-failure GetOrReserve: path=%q record=%v err=%v, want a fresh recording slot", p, record, err)
+	}
+	p, err = c.Fill("k", tr)
+	if err != nil {
+		t.Fatalf("recording after writer recovery: %v", err)
+	}
+	st, err := OpenStream(p, 0)
+	if err != nil {
+		t.Fatalf("recovered file does not open: %v", err)
+	}
+	st.Close()
+}
+
+// TestStreamCacheQuarantine pins the supervisor's evict-and-re-record
+// path: quarantining a published recording removes entry and file, is
+// counted, and the next GetOrReserve records from scratch; an in-flight
+// recording and an absent key are both refused.
+func TestStreamCacheQuarantine(t *testing.T) {
+	c, err := NewStreamCache(t.TempDir(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Quarantine("nothing") {
+		t.Fatal("quarantined a key that was never recorded")
+	}
+	tr := recordTestTrace(t, 1<<10)
+	if _, _, record, _ := c.GetOrReserve("k"); !record {
+		t.Fatal("cold cache did not ask for a recording")
+	}
+	// In flight: the reservation is live, nothing published to distrust.
+	if c.Quarantine("k") {
+		t.Fatal("quarantined an in-flight recording")
+	}
+	p, err := c.Fill("k", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quarantine("k") {
+		t.Fatal("refused to quarantine a published recording")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("quarantined file still on disk (stat err %v)", err)
+	}
+	if s := c.Stats(); s.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", s)
+	}
+	if _, _, record, err := c.GetOrReserve("k"); err != nil || !record {
+		t.Fatalf("post-quarantine GetOrReserve: record=%v err=%v, want re-record", record, err)
+	}
+	c.Fail("k", errors.New("cleanup"))
+}
+
+// TestBudgetAdmit pins the degraded-mode admission rule: an idle bucket
+// admits anything (one cell must always run), a busy bucket admits only
+// what fits, and nil admits everything.
+func TestBudgetAdmit(t *testing.T) {
+	var nilB *Budget
+	if !nilB.Admit(1 << 40) {
+		t.Fatal("nil budget rejected an admission")
+	}
+	b := NewBudget(1 << 10)
+	if !b.Admit(1 << 20) {
+		t.Fatal("idle bucket rejected an oversized admission (single cells must always run)")
+	}
+	b.charge(1 << 9)
+	if !b.Admit(1 << 8) {
+		t.Fatal("bucket rejected an admission that fits")
+	}
+	if b.Admit(1 << 10) {
+		t.Fatal("busy bucket admitted an overdraft")
+	}
+	b.credit(1 << 9)
+	if !b.Admit(1 << 20) {
+		t.Fatal("drained bucket rejected an admission")
 	}
 }
 

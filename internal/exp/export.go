@@ -42,11 +42,13 @@ func WriteCSV(path string, rows []FigRow) error {
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
 
-// WriteFullGridCSV exports a full-scale grid report, one row per cell:
-// simulated results (wall cycles, misses, stalls) plus the host-side
-// stage timings and memory high-water marks the grid amortization is
-// judged by. record_s and write_s are zero (and record_shared true) for
-// cells that reused another cell's recording.
+// WriteFullGridCSV exports a full-scale grid report, one row per grid
+// point: simulated results (wall cycles, misses, stalls) plus the
+// host-side stage timings and memory high-water marks the grid
+// amortization is judged by. record_s and write_s are zero (and
+// record_shared true) for cells that reused another cell's recording.
+// The status column distinguishes done/resumed cells from the pending
+// and failed rows of a partial run, whose metric fields are empty.
 func WriteFullGridCSV(path string, rep *FullGridReport) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -55,7 +57,7 @@ func WriteFullGridCSV(path string, rep *FullGridReport) error {
 	defer f.Close()
 	w := csv.NewWriter(f)
 	header := []string{
-		"kernel", "scheduler", "links", "shards",
+		"kernel", "scheduler", "links", "status", "shards",
 		"sharded_wall_cycles", "l3_misses", "dram_stall_cycles",
 		"tasks", "strands", "op_bytes", "file_bytes",
 		"record_shared", "record_s", "write_s", "sharded_s",
@@ -64,9 +66,52 @@ func WriteFullGridCSV(path string, rep *FullGridReport) error {
 	if err := w.Write(header); err != nil {
 		return err
 	}
-	for _, c := range rep.Cells {
+	failed := make(map[GridCell]bool, len(rep.Failures))
+	for _, fc := range rep.Failures {
+		failed[fc.Cell] = true
+	}
+	grid := rep.Grid
+	cells := rep.Cells
+	if len(grid) == 0 {
+		// Reports predating the Grid field: reconstruct points from the
+		// completed cells.
+		for _, c := range rep.Cells {
+			if c != nil {
+				grid = append(grid, GridCell{c.Kernel, c.Scheduler, c.LinksUsed})
+			}
+		}
+		cells = nil
+		for _, c := range rep.Cells {
+			if c != nil {
+				cells = append(cells, c)
+			}
+		}
+	}
+	for i, g := range grid {
+		var c *FullCellReport
+		if i < len(cells) {
+			c = cells[i]
+		}
+		if c == nil {
+			status := "pending"
+			if failed[g] {
+				status = "failed"
+			}
+			rec := []string{
+				g.Kernel, g.Scheduler, strconv.Itoa(g.LinksUsed), status,
+				"", "", "", "", "", "", "", "", "", "", "", "", "", "",
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+			continue
+		}
+		status := "done"
+		if c.Resumed {
+			status = "resumed"
+		}
 		rec := []string{
-			c.Kernel, c.Scheduler, strconv.Itoa(c.LinksUsed), strconv.Itoa(c.Shards),
+			c.Kernel, c.Scheduler, strconv.Itoa(c.LinksUsed), status, strconv.Itoa(c.Shards),
 			strconv.FormatInt(c.ShardedWall, 10), strconv.FormatInt(c.L3Misses, 10),
 			strconv.FormatInt(c.StallCycles, 10),
 			strconv.FormatUint(c.Tasks, 10), strconv.FormatUint(c.Strands, 10),

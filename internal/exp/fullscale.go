@@ -113,6 +113,18 @@ type FullCellReport struct {
 	// over a grid never double-counts the amortized record stage.
 	RecordShared bool
 
+	// Attempts is the attempt number that produced this report (1 = first
+	// try), counted across resumes of a journaled run.
+	Attempts int
+	// Degraded marks a cell run on the supervisor's degraded path —
+	// serialized, with a shrunken decoder window — because the shared
+	// budget could not admit another full window. Degraded execution
+	// never changes simulated results, only host memory and concurrency.
+	Degraded bool
+	// Resumed marks a report restored from a run journal rather than
+	// executed by this process; host timings are the original attempt's.
+	Resumed bool
+
 	// Host wall-clock of each pipeline stage, in seconds.
 	RecordSec   float64 // live run + recording (0 when RecordShared)
 	WriteSec    float64 // framing to disk (0 when RecordShared)
@@ -132,10 +144,12 @@ type FullCellReport struct {
 // fullCellOpts selects the stages and sharing discipline of one
 // full-scale cell run.
 type fullCellOpts struct {
-	linksUsed int                    // 0 = all machine links
-	cache     *dagtrace.StreamCache  // nil = private temp recording
-	budget    *dagtrace.Budget       // shared window budget (nil = per-stream only)
-	unsharded bool                   // also replay unsharded on the full machine
+	linksUsed int                   // 0 = all machine links
+	cache     *dagtrace.StreamCache // nil = private temp recording
+	budget    *dagtrace.Budget      // shared window budget (nil = per-stream only)
+	unsharded bool                  // also replay unsharded on the full machine
+	window    int64                 // decoder window override (0 = r.ReplayWindow)
+	degraded  bool                  // mark the report as degraded-mode execution
 }
 
 // framedKey is the grid cache identity of a kernel's framed recording:
@@ -204,9 +218,13 @@ func (r *Runner) fullCell(kernel, schedName string, o fullCellOpts) (*FullCellRe
 		return nil, fmt.Errorf("exp: LinksUsed %d out of range 1..%d", o.linksUsed, m.Links)
 	}
 	seed := r.P.Seed
+	window := o.window
+	if window == 0 {
+		window = r.ReplayWindow
+	}
 	rep := &FullCellReport{
 		Kernel: kernel, Scheduler: schedName, Machine: m.Name,
-		LinksUsed: links, Shards: r.Shards, Window: r.ReplayWindow,
+		LinksUsed: links, Shards: r.Shards, Window: window, Degraded: o.degraded,
 	}
 
 	// Stage 1: resolve the framed recording — through the shared grid
@@ -273,8 +291,10 @@ func (r *Runner) fullCell(kernel, schedName string, o fullCellOpts) (*FullCellRe
 	runtime.GC()
 
 	// Stage 2: reopen through the bounded window, charging the shared grid
-	// budget when one is set.
-	st, err := dagtrace.OpenStreamBudget(path, r.ReplayWindow, o.budget)
+	// budget when one is set. Window size bounds decoder memory only —
+	// simulated results are invariant under it, which is what makes the
+	// supervisor's shrunken-window degraded mode safe.
+	st, err := dagtrace.OpenStreamBudget(path, window, o.budget)
 	if err != nil {
 		return nil, fmt.Errorf("exp: full-scale open: %w", err)
 	}

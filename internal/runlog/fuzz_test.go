@@ -1,0 +1,74 @@
+package runlog
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRunlogDecode hammers the journal decoders with adversarial bytes,
+// mirroring dagtrace's FuzzFramedDecode: a resumed run parses whatever a
+// crash (or an editor, or bit rot) left in the run directory, so both
+// the per-line record decoder and the manifest decoder must reject any
+// malformed input with an error — never panic, never hand back a record
+// that fails its own validation.
+func FuzzRunlogDecode(f *testing.F) {
+	// Seed corpus: valid lines and manifests, plus near-misses.
+	if line, err := encodeLine(&Record{
+		Seq: 1, Cell: CellID{Kernel: "RRM", Sched: "sb", Links: 4},
+		Key: "k", Status: StatusDone, Attempt: 2,
+		Report: json.RawMessage(`{"fp":"abc"}`),
+	}); err == nil {
+		f.Add(line[:len(line)-1])
+	}
+	if line, err := encodeLine(&Record{
+		Seq: 7, Cell: CellID{Kernel: "RRM", Sched: "sbd", Links: 1},
+		Key: "k", Status: StatusFailed, Attempt: 1, Error: "deadline", Quarantined: true,
+	}); err == nil {
+		f.Add(line[:len(line)-1])
+	}
+	if man, err := json.Marshal(&Manifest{
+		Version: Version, Profile: "x4", Machine: "m", Seed: 1,
+		Kernels: []string{"RRM"}, Scheds: []string{"sb"}, Bands: []int{4}, Cells: 1,
+	}); err == nil {
+		f.Add(man)
+	}
+	f.Add([]byte("0000000000000000 {}"))
+	f.Add([]byte("{\"version\":999}"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := decodeLine(data); err == nil {
+			if r == nil || !validStatus(r.Status) || r.Seq < 1 || r.Attempt < 0 {
+				t.Fatalf("decodeLine accepted invalid record %+v", r)
+			}
+			// A decoded record must re-encode and decode to the same fields.
+			line, err := encodeLine(r)
+			if err != nil {
+				t.Fatalf("re-encoding decoded record: %v", err)
+			}
+			r2, err := decodeLine(line[:len(line)-1])
+			if err != nil {
+				t.Fatalf("round trip rejected its own encoding: %v", err)
+			}
+			if r2.Cell != r.Cell || r2.Status != r.Status || r2.Attempt != r.Attempt || r2.Seq != r.Seq {
+				t.Fatalf("round trip changed the record: %+v vs %+v", r, r2)
+			}
+		}
+		if m, err := decodeManifest(data); err == nil {
+			if m.Version != Version || m.Cells <= 0 || len(m.Kernels) == 0 || len(m.Scheds) == 0 {
+				t.Fatalf("decodeManifest accepted invalid manifest %+v", m)
+			}
+		}
+		// scanRecords must never panic and never claim more valid bytes
+		// than it was given.
+		recs, valid := scanRecords(data)
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("scanRecords claimed %d valid bytes of %d", valid, len(data))
+		}
+		for _, r := range recs {
+			if !validStatus(r.Status) {
+				t.Fatalf("scanRecords passed through invalid record %+v", r)
+			}
+		}
+	})
+}

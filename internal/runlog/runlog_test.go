@@ -1,0 +1,202 @@
+package runlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	return &Manifest{
+		Version: Version, Profile: "x4", Machine: "xeon7560/4",
+		Seed: 42, Kernels: []string{"RRM"}, Scheds: []string{"sb", "sbd"},
+		Bands: []int{4, 1}, Cells: 4,
+	}
+}
+
+// TestJournalRoundTrip pins the basic life cycle: create, append a cell
+// history, close, reopen — every record and the manifest survive, the
+// sequence counter continues, and Reduce folds the history correctly.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := CellID{Kernel: "RRM", Sched: "sb", Links: 4}
+	recs := []Record{
+		{Cell: cell, Key: "k1", Status: StatusRunning, Attempt: 1},
+		{Cell: cell, Key: "k1", Status: StatusFailed, Attempt: 1, Error: "boom", Quarantined: true},
+		{Cell: cell, Key: "k1", Status: StatusRunning, Attempt: 2},
+		{Cell: cell, Key: "k1", Status: StatusDone, Attempt: 2, Report: json.RawMessage(`{"fp":"abc"}`)},
+	}
+	for i := range recs {
+		if err := j.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if recs[i].Seq != i+1 {
+			t.Fatalf("record %d got seq %d", i, recs[i].Seq)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, man, got, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := man.Match(testManifest()); err != nil {
+		t.Fatalf("reloaded manifest does not match: %v", err)
+	}
+	if len(got) != len(recs) || j2.Dropped != 0 {
+		t.Fatalf("reloaded %d records (dropped %d), want %d (0)", len(got), j2.Dropped, len(recs))
+	}
+	for i, r := range got {
+		if r.Seq != i+1 || r.Cell != cell || r.Status != recs[i].Status || r.Attempt != recs[i].Attempt {
+			t.Fatalf("record %d reloaded as %+v", i, r)
+		}
+	}
+	st := Reduce(got)[cell]
+	if st == nil || st.Status != StatusDone || st.Attempts != 2 || st.Quarantines != 1 || string(st.Report) != `{"fp":"abc"}` {
+		t.Fatalf("reduced state = %+v", st)
+	}
+	// The sequence counter continues across Open.
+	next := Record{Cell: cell, Key: "k1", Status: StatusRunning, Attempt: 3}
+	if err := j2.Append(&next); err != nil {
+		t.Fatal(err)
+	}
+	if next.Seq != 5 {
+		t.Fatalf("post-resume append got seq %d, want 5", next.Seq)
+	}
+}
+
+// TestJournalCrashTail pins the crash-safety contract: a torn final line
+// (no checksum match, or no newline at all) is dropped and truncated,
+// everything before it survives, and the journal keeps appending cleanly.
+func TestJournalCrashTail(t *testing.T) {
+	for _, tail := range []string{
+		"0123",                      // torn mid-checksum
+		"0123456789abcdef {\"seq\"", // torn mid-payload, checksum can't match
+		"ffffffffffffffff {\"seq\":9,\"cell\":{},\"status\":\"done\",\"attempt\":1}\n", // full line, wrong checksum
+	} {
+		dir := t.TempDir()
+		j, err := Create(dir, testManifest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := CellID{Kernel: "RRM", Sched: "sb", Links: 4}
+		if err := j.Append(&Record{Cell: cell, Key: "k", Status: StatusDone, Attempt: 1}); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		logPath := filepath.Join(dir, "cells.log")
+		f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString(tail)
+		f.Close()
+
+		j2, _, recs, err := Open(dir)
+		if err != nil {
+			t.Fatalf("tail %q: %v", tail, err)
+		}
+		if len(recs) != 1 || j2.Dropped != len(tail) {
+			t.Fatalf("tail %q: %d records, dropped %d (want 1, %d)", tail, len(recs), j2.Dropped, len(tail))
+		}
+		// The damaged tail is gone from disk and appending resumes cleanly.
+		if err := j2.Append(&Record{Cell: cell, Key: "k", Status: StatusRunning, Attempt: 2}); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		if _, _, recs, err = Open(dir); err != nil || len(recs) != 2 {
+			t.Fatalf("tail %q: after self-heal reload got %d records, err %v", tail, len(recs), err)
+		}
+	}
+}
+
+// TestJournalCreateRefusesExisting pins the no-clobber rule: Create on a
+// directory already holding a journal errors, steering to Open.
+func TestJournalCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := Create(dir, testManifest()); err == nil || !strings.Contains(err.Error(), "already holds a journal") {
+		t.Fatalf("second Create returned %v, want already-holds error", err)
+	}
+	if !Exists(dir) {
+		t.Fatal("Exists = false on a journaled directory")
+	}
+	if Exists(t.TempDir()) {
+		t.Fatal("Exists = true on an empty directory")
+	}
+}
+
+// TestManifestMatch pins that every identity field is compared.
+func TestManifestMatch(t *testing.T) {
+	base := testManifest()
+	for name, mutate := range map[string]func(*Manifest){
+		"profile": func(m *Manifest) { m.Profile = "x8" },
+		"machine": func(m *Manifest) { m.Machine = "other" },
+		"seed":    func(m *Manifest) { m.Seed++ },
+		"kernels": func(m *Manifest) { m.Kernels = []string{"RRG"} },
+		"scheds":  func(m *Manifest) { m.Scheds = []string{"ws"} },
+		"bands":   func(m *Manifest) { m.Bands = []int{1} },
+		"cells":   func(m *Manifest) { m.Cells = 2 },
+	} {
+		m := *base
+		m.Kernels = append([]string(nil), base.Kernels...)
+		m.Scheds = append([]string(nil), base.Scheds...)
+		m.Bands = append([]int(nil), base.Bands...)
+		mutate(&m)
+		if err := m.Match(base); err == nil {
+			t.Errorf("mutated %s still matches", name)
+		}
+	}
+	if err := base.Match(testManifest()); err != nil {
+		t.Errorf("identical manifests do not match: %v", err)
+	}
+}
+
+// TestDecodeLineRejects pins the validation that FuzzRunlogDecode
+// hammers: bad framing, bad checksums and invalid field values all
+// surface as errors, never as silently-accepted records.
+func TestDecodeLineRejects(t *testing.T) {
+	good, err := encodeLine(&Record{Seq: 1, Cell: CellID{Kernel: "k", Sched: "s", Links: 1}, Status: StatusDone, Attempt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeLine(good[:len(good)-1]); err != nil { // minus the newline
+		t.Fatalf("valid line rejected: %v", err)
+	}
+	for name, line := range map[string]string{
+		"empty":       "",
+		"short":       "0123456789abcdef",
+		"no-space":    "0123456789abcdefX{}",
+		"not-hex":     "zzzzzzzzzzzzzzzz {}",
+		"bad-sum":     "0000000000000000 {\"seq\":1,\"status\":\"done\",\"attempt\":1}",
+		"bad-status":  checksummed(t, `{"seq":1,"status":"exploded","attempt":1}`),
+		"zero-seq":    checksummed(t, `{"seq":0,"status":"done","attempt":1}`),
+		"neg-attempt": checksummed(t, `{"seq":1,"status":"done","attempt":-1}`),
+		"not-json":    checksummed(t, `not json at all`),
+	} {
+		if _, err := decodeLine([]byte(line)); err == nil {
+			t.Errorf("%s: decodeLine accepted %q", name, line)
+		}
+	}
+}
+
+// checksummed wraps a payload with its correct checksum so the test
+// reaches the validation behind the checksum gate.
+func checksummed(t *testing.T, payload string) string {
+	t.Helper()
+	return fmt.Sprintf("%016x %s", sum64([]byte(payload)), payload)
+}
